@@ -1,0 +1,45 @@
+"""Figure 12 — benefits of the loop-lifted staircase join.
+
+The paper evaluates five engine configurations over the XMark queries:
+iterative vs. loop-lifted execution of the child and descendant steps, plus
+nametest pushdown.  Expected shape: loop-lifting wins clearly on step-heavy
+queries; single-iteration queries (Q6, Q7) only gain from nametest pushdown.
+"""
+
+import pytest
+
+from repro.xmark import XMARK_QUERIES
+
+from .conftest import build_engine
+
+
+CONFIGS = {
+    "iterative": dict(loop_lifted_child=False, loop_lifted_descendant=False,
+                      loop_lifted_other=False, nametest_pushdown=False),
+    "ll-child-only": dict(loop_lifted_child=True, loop_lifted_descendant=False,
+                          loop_lifted_other=False, nametest_pushdown=False),
+    "ll-descendant-only": dict(loop_lifted_child=False, loop_lifted_descendant=True,
+                               loop_lifted_other=False, nametest_pushdown=False),
+    "loop-lifted": dict(nametest_pushdown=False),
+    "loop-lifted+nametest": dict(),
+}
+
+#: a representative subset covering step-heavy, join and aggregation queries
+QUERIES = (1, 2, 6, 7, 13, 14, 15, 17, 19, 20)
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig12_step_configurations(benchmark, xmark_engine, query, config):
+    options = xmark_engine.options.replace(**CONFIGS[config])
+    text = XMARK_QUERIES[query]
+
+    def run():
+        xmark_engine.reset_transient()
+        return len(xmark_engine.query(text, options=options))
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["figure"] = "fig12"
+    benchmark.extra_info["query"] = f"Q{query}"
+    benchmark.extra_info["config"] = config
+    benchmark.extra_info["result_size"] = result

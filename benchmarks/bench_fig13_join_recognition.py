@@ -1,0 +1,28 @@
+"""Figure 13 — XQuery join recognition on the XMark join queries Q8–Q12.
+
+Without join recognition the loop-lifted plans materialise huge Cartesian
+products (persons × auctions); with it, the value join is evaluated directly
+and the queries scale linearly.  Expected shape: "join" beats "cross product"
+by a growing factor as the document grows.
+"""
+
+import pytest
+
+from repro.xmark import JOIN_QUERIES, XMARK_QUERIES
+
+
+@pytest.mark.parametrize("mode", ["join", "cross-product"])
+@pytest.mark.parametrize("query", JOIN_QUERIES)
+def test_fig13_join_vs_cross_product(benchmark, xmark_engine, query, mode):
+    options = xmark_engine.options.replace(join_recognition=(mode == "join"))
+    text = XMARK_QUERIES[query]
+
+    def run():
+        xmark_engine.reset_transient()
+        return len(xmark_engine.query(text, options=options))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["figure"] = "fig13"
+    benchmark.extra_info["query"] = f"Q{query}"
+    benchmark.extra_info["config"] = mode
+    benchmark.extra_info["result_size"] = result

@@ -1,0 +1,39 @@
+"""Figure 14 — benefits of order-property-driven sort reduction.
+
+The order-aware configuration skips sorts whose required ordering is already
+guaranteed by the ``ord``/``grpord`` properties and uses the streaming
+DENSE_RANK; the non-order-preserving configuration always sorts.  Expected
+shape: a consistent speedup (the paper reports about 2× overall on XMark).
+"""
+
+import pytest
+
+from repro.relational import capture
+from repro.xmark import XMARK_QUERIES
+
+
+QUERIES = (1, 2, 3, 5, 8, 10, 13, 17, 19, 20)
+
+
+@pytest.mark.parametrize("mode", ["order-preserving", "non-order-preserving"])
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig14_sort_reduction(benchmark, xmark_engine, query, mode):
+    options = xmark_engine.options.replace(
+        order_optimization=(mode == "order-preserving"))
+    text = XMARK_QUERIES[query]
+
+    def run():
+        xmark_engine.reset_transient()
+        return len(xmark_engine.query(text, options=options))
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+
+    with capture() as trace:
+        xmark_engine.reset_transient()
+        xmark_engine.query(text, options=options)
+    benchmark.extra_info["figure"] = "fig14"
+    benchmark.extra_info["query"] = f"Q{query}"
+    benchmark.extra_info["config"] = mode
+    benchmark.extra_info["full_sorts"] = trace.count("sort.full")
+    benchmark.extra_info["skipped_sorts"] = trace.count("sort.skipped")
+    benchmark.extra_info["result_size"] = result

@@ -1,0 +1,44 @@
+"""Figure 15 — scalability with respect to document size.
+
+The paper normalises each query's elapsed time to the 110 MB document and
+observes near-linear scaling, super-linear behaviour only for the quadratic
+theta-join queries Q11/Q12, and sub-linear behaviour for the index-assisted
+Q6/Q7/Q15/Q16.  Here three document sizes spanning ~one order of magnitude
+are used; the same normalisation can be computed from the recorded times.
+"""
+
+import pytest
+
+from repro.xmark import XMARK_QUERIES
+
+from .conftest import BASE_SCALE, build_engine
+
+
+SCALES = (BASE_SCALE, BASE_SCALE * 2, BASE_SCALE * 4)
+QUERIES = (1, 2, 5, 6, 8, 11, 14, 15, 17, 20)
+
+_ENGINES = {}
+
+
+def engine_for(scale):
+    if scale not in _ENGINES:
+        _ENGINES[scale] = build_engine(scale)
+    return _ENGINES[scale]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig15_scalability(benchmark, query, scale):
+    engine = engine_for(scale)
+    text = XMARK_QUERIES[query]
+
+    def run():
+        engine.reset_transient()
+        return len(engine.query(text))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["figure"] = "fig15"
+    benchmark.extra_info["query"] = f"Q{query}"
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["nodes"] = engine.store.get("auction.xml").node_count
+    benchmark.extra_info["result_size"] = result

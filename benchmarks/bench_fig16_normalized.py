@@ -1,0 +1,45 @@
+"""Figure 16 — normalised evaluation time relative to MonetDB/XQuery.
+
+Rather than re-timing (Table 1 already does), this benchmark computes the
+normalised ratio baseline / MXQ per query directly, which is exactly the
+series Figure 16 plots, and records it as ``extra_info`` so the JSON output
+of ``pytest-benchmark`` contains the figure's data points.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import TreeWalkingInterpreter
+from repro.xmark import XMARK_QUERIES
+from repro.xml.document import NodeRef
+
+
+QUERIES = (1, 2, 5, 6, 8, 11, 13, 17, 20)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig16_normalized_ratio(benchmark, xmark_engine, query):
+    text = XMARK_QUERIES[query]
+    container = xmark_engine.store.get("auction.xml")
+
+    def measure_pair():
+        xmark_engine.reset_transient()
+        started = time.perf_counter()
+        xmark_engine.query(text)
+        mxq_seconds = time.perf_counter() - started
+
+        interpreter = TreeWalkingInterpreter(xmark_engine.store)
+        started = time.perf_counter()
+        interpreter.run(text, context_item=NodeRef(container, 0))
+        baseline_seconds = time.perf_counter() - started
+        return mxq_seconds, baseline_seconds
+
+    mxq_seconds, baseline_seconds = benchmark.pedantic(
+        measure_pair, rounds=1, iterations=1, warmup_rounds=0)
+    ratio = baseline_seconds / mxq_seconds if mxq_seconds > 0 else float("inf")
+    benchmark.extra_info["figure"] = "fig16"
+    benchmark.extra_info["query"] = f"Q{query}"
+    benchmark.extra_info["mxq_seconds"] = round(mxq_seconds, 6)
+    benchmark.extra_info["baseline_seconds"] = round(baseline_seconds, 6)
+    benchmark.extra_info["normalized_vs_mxq"] = round(ratio, 2)

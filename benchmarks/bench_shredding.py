@@ -1,0 +1,49 @@
+"""Section 6 "Shredding and Serialization" — linear-time load and dump.
+
+The paper reports shredding/serialization times that grow linearly with
+document size thanks to the purely sequential access pattern of the
+``pre|size|level`` encoding.  The benchmark shreds and serializes generated
+XMark documents of increasing size; the recorded nodes/second should stay
+roughly constant.
+"""
+
+import pytest
+
+from repro.xmark import generate_document
+from repro.xml import DocumentStore, serialize_subtree, shred_document
+
+from .conftest import BASE_SCALE
+
+
+SCALES = (BASE_SCALE, BASE_SCALE * 2, BASE_SCALE * 4)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_shredding_scales_linearly(benchmark, scale):
+    text = generate_document(scale, seed=42)
+
+    def run():
+        store = DocumentStore()
+        return shred_document(text, "auction.xml", store).node_count
+
+    nodes = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["experiment"] = "text-shred"
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["document_bytes"] = len(text)
+    benchmark.extra_info["nodes"] = nodes
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_serialization_scales_linearly(benchmark, scale):
+    text = generate_document(scale, seed=42)
+    store = DocumentStore()
+    document = shred_document(text, "auction.xml", store)
+
+    def run():
+        return len(serialize_subtree(document, 0))
+
+    size = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["experiment"] = "text-serialize"
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["serialized_bytes"] = size
+    benchmark.extra_info["nodes"] = document.node_count

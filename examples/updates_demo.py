@@ -1,0 +1,64 @@
+"""Structural and value updates on a loaded document (Section 5.2).
+
+Shows the page-wise update scheme in action: inserts and deletes touch only
+a constant number of logical pages, and subsequent queries see the changes
+after commit.
+
+Run with:  python examples/updates_demo.py
+"""
+
+from repro import MonetXQuery, XMLUpdater
+
+
+CATALOG = """
+<catalog>
+  <products>
+    <product sku="A1"><name>Espresso machine</name><stock>4</stock></product>
+    <product sku="B2"><name>Milk frother</name><stock>0</stock></product>
+  </products>
+  <orders/>
+</catalog>
+"""
+
+
+def main() -> None:
+    engine = MonetXQuery()
+    engine.load_document_text(CATALOG, name="catalog.xml")
+    print("products before update:",
+          engine.query("count(//product)").items[0])
+
+    updater = XMLUpdater(engine, "catalog.xml", page_size=32)
+
+    # structural insert: a new product appended under <products>
+    products = updater.select("/catalog/products")[0]
+    stats = updater.insert_last(
+        products, '<product sku="C3"><name>Grinder</name><stock>9</stock></product>')
+    print(f"insert touched {stats.pages_touched} logical page(s), "
+          f"appended {stats.pages_appended}")
+
+    # structural insert at the front of <orders>
+    orders = updater.select("/catalog/orders")[0]
+    updater.insert_first(orders, '<order id="o1"><sku>A1</sku></order>')
+
+    # value update: restock the milk frother
+    stock_text = updater.select('/catalog/products/product[@sku = "B2"]/stock/text()')[0]
+    updater.replace_value(stock_text, "12")
+
+    # structural delete: drop the espresso machine
+    espresso = updater.select('/catalog/products/product[@sku = "A1"]')[0]
+    updater.delete(espresso)
+
+    updater.commit()
+
+    print("products after update: ",
+          engine.query("count(//product)").items[0])
+    print("restocked quantity:    ",
+          engine.query('/catalog/products/product[@sku = "B2"]/stock/text()').strings())
+    print("orders:                ",
+          engine.query("count(//order)").items[0])
+    print("\nupdated document:")
+    print(engine.query("/catalog").serialize())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — a reproduction of MonetDB/XQuery (Boncz et al., SIGMOD 2006).
+
+A purely relational XQuery processor: XML documents are shredded into
+``pre|size|level`` tables, XQuery is compiled by loop-lifting into relational
+algebra over ``iter|pos|item`` sequence tables, XPath location steps run on
+the loop-lifted staircase join, and a property-driven optimization layer
+recognises value joins and avoids sorts.
+
+Quickstart::
+
+    from repro import MonetXQuery
+
+    mxq = MonetXQuery()
+    mxq.load_document_text("<site><a>1</a><a>2</a></site>", name="doc.xml")
+    result = mxq.query('for $a in /site/a return $a/text()')
+    print(result.serialize())
+"""
+
+from .errors import (ReproError, RelationalError, StorageError, XMLError,
+                     XQueryError, XQuerySyntaxError, XQueryTypeError,
+                     XQueryUnsupportedError)
+from .xquery.engine import EngineOptions, MonetXQuery, QueryResult
+from .xquery.updates import XMLUpdater
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EngineOptions",
+    "MonetXQuery",
+    "QueryResult",
+    "ReproError",
+    "RelationalError",
+    "StorageError",
+    "XMLError",
+    "XMLUpdater",
+    "XQueryError",
+    "XQuerySyntaxError",
+    "XQueryTypeError",
+    "XQueryUnsupportedError",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Comparison baselines: a conventional tree-walking XQuery interpreter."""
+
+from .interpreter import TreeWalkingInterpreter, run_baseline
+
+__all__ = ["TreeWalkingInterpreter", "run_baseline"]

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the repro (MonetDB/XQuery reproduction) library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish the layer that failed (relational engine,
+XML storage, XQuery front-end, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RelationalError(ReproError):
+    """Errors raised by the column-at-a-time relational engine."""
+
+
+class ColumnTypeError(RelationalError):
+    """A column received values incompatible with its declared type."""
+
+
+class SchemaError(RelationalError):
+    """A table operation referenced a column that does not exist or clashes."""
+
+
+class XMLError(ReproError):
+    """Errors raised by the XML substrate (parser, shredder, serializer)."""
+
+
+class XMLParseError(XMLError):
+    """The XML parser encountered malformed input."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class DocumentError(XMLError):
+    """A document-store operation failed (unknown document, bad fragment, ...)."""
+
+
+class StorageError(ReproError):
+    """Errors raised by the page-wise updatable storage layer."""
+
+
+class UpdateError(StorageError):
+    """A structural or value update could not be applied."""
+
+
+class XQueryError(ReproError):
+    """Base class for XQuery front-end errors."""
+
+
+class XQuerySyntaxError(XQueryError):
+    """The XQuery parser rejected the query text."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class XQueryTypeError(XQueryError):
+    """A dynamic type error occurred during evaluation (err:XPTY...)."""
+
+
+class XQueryUnsupportedError(XQueryError):
+    """The query uses an XQuery feature outside the supported subset."""
+
+
+class XQueryRuntimeError(XQueryError):
+    """A dynamic error occurred while evaluating the query."""
+
+
+class StaircaseJoinError(ReproError):
+    """Preconditions of a staircase-join algorithm were violated."""

@@ -1,0 +1,35 @@
+"""Column-at-a-time relational engine (the MonetDB substrate).
+
+The subpackage provides:
+
+* :class:`~repro.relational.column.Column` and
+  :class:`~repro.relational.table.Table` — materialised columnar storage,
+* :mod:`~repro.relational.operators` — eager relational algebra operators
+  with property propagation and physical algorithm selection,
+* :mod:`~repro.relational.properties` — the ``dense/key/const/ord/grpord``
+  property framework of Section 4.1,
+* :mod:`~repro.relational.positional` — positional (address-computation)
+  lookup and join algorithms,
+* :mod:`~repro.relational.sorting` — full sort / refine sort with
+  order-property awareness,
+* :mod:`~repro.relational.explain` — operator trace and algorithm counters.
+"""
+
+from .column import Column
+from .explain import Trace, capture
+from .properties import ColumnProps, GroupOrder, TableProps
+from .table import Table
+from . import operators, positional, sorting
+
+__all__ = [
+    "Column",
+    "ColumnProps",
+    "GroupOrder",
+    "Table",
+    "TableProps",
+    "Trace",
+    "capture",
+    "operators",
+    "positional",
+    "sorting",
+]

@@ -1,0 +1,117 @@
+"""Columns: the unit of storage of the column-at-a-time engine.
+
+MonetDB stores every attribute as a Binary Association Table (BAT) whose
+head is a dense, void (virtual) object identifier and whose tail is the
+attribute value.  Because the head is always dense, a BAT degenerates to a
+plain array.  We mirror that: a :class:`Column` is a plain Python list of
+values plus the :class:`~repro.relational.properties.ColumnProps` the
+peephole optimizer tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..errors import ColumnTypeError
+from .properties import ColumnProps, infer_column_props
+
+
+class Column:
+    """A named, materialised column of values.
+
+    The column does not enforce a static type: like the paper's polymorphic
+    ``item`` column it may mix integers, strings, booleans and node
+    surrogates.  Property inference is optional (``infer=True``) because it
+    costs a scan; operators that know the properties of their output set them
+    analytically instead.
+    """
+
+    __slots__ = ("name", "values", "props")
+
+    def __init__(self, name: str, values: Sequence[Any] | None = None, *,
+                 props: ColumnProps | None = None, infer: bool = False):
+        self.name = name
+        self.values: list[Any] = list(values) if values is not None else []
+        if props is not None:
+            self.props = props
+        elif infer:
+            self.props = infer_column_props(self.values)
+        else:
+            self.props = ColumnProps()
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.name == other.name and self.values == other.values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        preview = ", ".join(repr(v) for v in self.values[:6])
+        if len(self.values) > 6:
+            preview += ", ..."
+        return f"Column({self.name!r}, [{preview}], props={self.props.describe()})"
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def dense(cls, name: str, count: int, base: int = 0) -> "Column":
+        """Create a dense sequence column ``base, base+1, ..``."""
+        props = ColumnProps(dense=True, dense_base=base, key=True)
+        return cls(name, list(range(base, base + count)), props=props)
+
+    @classmethod
+    def constant(cls, name: str, value: Any, count: int) -> "Column":
+        """Create a constant column repeating ``value`` ``count`` times."""
+        props = ColumnProps(const=True, const_value=value, key=count <= 1)
+        return cls(name, [value] * count, props=props)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def renamed(self, name: str) -> "Column":
+        """Return a copy of the column under a different name."""
+        return Column(name, self.values, props=self.props.copy())
+
+    def take(self, positions: Iterable[int]) -> "Column":
+        """Positional selection: new column with ``values[p] for p in positions``.
+
+        This is MonetDB's ``fetchjoin`` / positional lookup primitive; it is
+        only valid because the implicit row id of a materialised column is
+        dense.
+        """
+        values = self.values
+        try:
+            picked = [values[p] for p in positions]
+        except IndexError as exc:
+            raise ColumnTypeError(
+                f"positional lookup out of range on column {self.name!r}") from exc
+        props = ColumnProps()
+        if self.props.const:
+            props.const = True
+            props.const_value = self.props.const_value
+        return Column(self.name, picked, props=props)
+
+    def append_column(self, other: "Column") -> None:
+        """Destructively append the values of ``other`` (same name required)."""
+        if other.name != self.name:
+            raise ColumnTypeError(
+                f"cannot append column {other.name!r} to column {self.name!r}")
+        self.values.extend(other.values)
+        self.props = ColumnProps()
+
+    def refresh_props(self) -> ColumnProps:
+        """Re-infer the properties from the current values."""
+        self.props = infer_column_props(self.values)
+        return self.props

@@ -1,0 +1,67 @@
+"""Positional lookup and positional join algorithms.
+
+One of the paper's architectural lessons (Sections 4.1 and 8) is that lookups
+into *dense* integer key columns — SQL autoincrement-style columns such as
+``iter``, ``pos``, ``pre``/``rid`` — should not be answered by B-tree access
+or hashing but by address computation: record ``k`` of a dense column with
+base ``b`` lives at position ``k - b``.  These helpers implement that
+"positional lookup" fast path; :mod:`repro.relational.operators` uses them
+whenever the key column's ``dense`` property holds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import RelationalError
+from .table import Table
+
+
+def positional_positions(key_values: Iterable[Any], base: int,
+                         size: int) -> list[int] | None:
+    """Translate dense-key values into row positions.
+
+    Returns ``None`` when any probe value is not an integer or falls outside
+    the stored range — the caller then falls back to a hash join (this is the
+    "join hit rate of 1" assumption of the paper: misses mean the dense-key
+    assumption was wrong and the generic algorithm must be used).
+    """
+    positions: list[int] = []
+    for value in key_values:
+        if not isinstance(value, int) or isinstance(value, bool):
+            return None
+        position = value - base
+        if position < 0 or position >= size:
+            return None
+        positions.append(position)
+    return positions
+
+
+def positional_select(table: Table, key_column: str, value: Any) -> Table:
+    """Select rows with ``key_column == value`` by address computation."""
+    column = table.column(key_column)
+    if not column.props.dense:
+        raise RelationalError(
+            f"positional_select requires a dense key column, got {key_column!r}")
+    if not isinstance(value, int) or isinstance(value, bool):
+        return table.take([], keep_order=True)
+    position = value - column.props.dense_base
+    if position < 0 or position >= len(column):
+        return table.take([], keep_order=True)
+    return table.take([position], keep_order=True)
+
+
+def positional_join_positions(probe_values: Sequence[Any], build: Table,
+                              build_key: str) -> list[int] | None:
+    """Positions into ``build`` for every probe value, or ``None`` on a miss.
+
+    The probe side keeps its order; because every dense key value matches
+    exactly one build row, the join hit rate is exactly 1 and the output has
+    exactly ``len(probe_values)`` rows in probe order — which is why the
+    optimizer need not consider join-order permutations for these joins.
+    """
+    key_column = build.column(build_key)
+    if not key_column.props.dense:
+        return None
+    return positional_positions(probe_values, key_column.props.dense_base,
+                                len(key_column))

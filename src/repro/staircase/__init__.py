@@ -1,0 +1,33 @@
+"""Staircase join family: iterative, loop-lifted, and pushdown variants."""
+
+from .axes import ANY_ELEMENT, ANY_NODE, Axis, NodeTest, axis_region
+from .baseline_joins import structural_join, structural_join_descendant_step
+from .iterative import StaircaseStats, attribute_step, naive_axis, staircase_join
+from .loop_lifted import (iterative_step, ll_attribute, ll_child,
+                          ll_descendant, loop_lifted_step, normalize_context)
+from .pushdown import (candidate_list, ll_child_pushdown,
+                       ll_descendant_pushdown, loop_lifted_step_pushdown)
+
+__all__ = [
+    "ANY_ELEMENT",
+    "ANY_NODE",
+    "Axis",
+    "NodeTest",
+    "StaircaseStats",
+    "attribute_step",
+    "axis_region",
+    "candidate_list",
+    "iterative_step",
+    "ll_attribute",
+    "ll_child",
+    "ll_child_pushdown",
+    "ll_descendant",
+    "ll_descendant_pushdown",
+    "loop_lifted_step",
+    "loop_lifted_step_pushdown",
+    "naive_axis",
+    "normalize_context",
+    "staircase_join",
+    "structural_join",
+    "structural_join_descendant_step",
+]

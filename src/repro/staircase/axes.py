@@ -1,0 +1,115 @@
+"""XPath axes and node tests over the ``pre|size|level`` encoding.
+
+The pre/size/level triple makes the four major axes simple arithmetic
+predicates on the pre/post plane (Section 2):
+
+* ``descendant(c)``:  ``pre(c) < pre(v) <= pre(c) + size(c)``
+* ``ancestor(c)``:    ``pre(v) < pre(c)`` and ``pre(v) + size(v) >= pre(c)``
+* ``following(c)``:   ``pre(v) > pre(c) + size(c)``
+* ``preceding(c)``:   ``pre(v) + size(v) < pre(c)``
+
+plus the structural axes ``child``, ``parent``, ``*-sibling``, ``attribute``
+and ``self`` that additionally involve the ``level`` column or the attribute
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..xml.document import DocumentContainer, NodeKind
+
+
+class Axis(Enum):
+    """The XPath axes supported by the staircase-join family."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    PARENT = "parent"
+    ANCESTOR = "ancestor"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+    FOLLOWING = "following"
+    PRECEDING = "preceding"
+    FOLLOWING_SIBLING = "following-sibling"
+    PRECEDING_SIBLING = "preceding-sibling"
+    ATTRIBUTE = "attribute"
+    SELF = "self"
+
+    @property
+    def is_forward(self) -> bool:
+        return self in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF,
+                        Axis.FOLLOWING, Axis.FOLLOWING_SIBLING, Axis.ATTRIBUTE,
+                        Axis.SELF)
+
+    @property
+    def is_reverse(self) -> bool:
+        return not self.is_forward
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """A node test: kind test plus optional name test.
+
+    ``kind`` is one of ``"element"``, ``"text"``, ``"comment"``,
+    ``"processing-instruction"``, ``"node"`` (any kind), ``"attribute"``.
+    ``name`` is a local name or ``None`` / ``"*"`` for "any name".
+    """
+
+    kind: str = "element"
+    name: str | None = None
+
+    def matches_kind(self, node_kind: int) -> bool:
+        if self.kind == "node":
+            return True
+        if self.kind == "element":
+            return node_kind == NodeKind.ELEMENT
+        if self.kind == "text":
+            return node_kind == NodeKind.TEXT
+        if self.kind == "comment":
+            return node_kind == NodeKind.COMMENT
+        if self.kind == "processing-instruction":
+            return node_kind == NodeKind.PROCESSING_INSTRUCTION
+        if self.kind == "attribute":
+            return node_kind == NodeKind.ATTRIBUTE
+        return False
+
+    @property
+    def has_name(self) -> bool:
+        return self.name is not None and self.name != "*"
+
+    def matches_tree_node(self, container: DocumentContainer, pre: int) -> bool:
+        """Evaluate the node test against a tree node of the container."""
+        if not self.matches_kind(container.kind[pre]):
+            return False
+        if not self.has_name:
+            return True
+        return container.element_name(pre) == self.name
+
+
+ANY_NODE = NodeTest(kind="node")
+ANY_ELEMENT = NodeTest(kind="element")
+
+
+def axis_region(axis: Axis, container: DocumentContainer,
+                pre: int) -> tuple[int, int] | None:
+    """The contiguous pre range (inclusive) covered by a major axis.
+
+    Only the axes whose result is a contiguous pre region return a range
+    (descendant, descendant-or-self, following, preceding*); others return
+    ``None``.  (*preceding is contiguous in pre but needs the extra
+    "not an ancestor" filter.)
+    """
+    size = container.size[pre]
+    if axis is Axis.DESCENDANT:
+        return (pre + 1, pre + size) if size > 0 else None
+    if axis is Axis.DESCENDANT_OR_SELF:
+        return (pre, pre + size)
+    if axis is Axis.FOLLOWING:
+        start = pre + size + 1
+        last = container.node_count - 1
+        return (start, last) if start <= last else None
+    if axis is Axis.PRECEDING:
+        return (0, pre - 1) if pre > 0 else None
+    return None

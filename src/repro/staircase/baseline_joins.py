@@ -1,0 +1,67 @@
+"""Baseline structural join algorithms (Section 7, related work).
+
+The paper positions the loop-lifted staircase join against the stack-based
+Structural Join [1] and Holistic Twig Join [7].  To make that comparison
+runnable we provide a faithful (simplified) Structural Join for the
+ancestor/descendant relationship: a merge of two document-ordered node lists
+using a stack of open ancestors.  Unlike the staircase join it
+
+* is not aware of iterations (no per-iteration pruning), so in a loop-lifted
+  setting duplicates must be eliminated afterwards, and
+* does not skip: every candidate descendant is inspected.
+"""
+
+from __future__ import annotations
+
+from ..xml.document import DocumentContainer
+
+
+def structural_join(container: DocumentContainer, ancestors: list[int],
+                    descendants: list[int]) -> list[tuple[int, int]]:
+    """All (ancestor, descendant) pairs with the XPath descendant relationship.
+
+    ``ancestors`` and ``descendants`` must be document-ordered pre lists.
+    Returns pairs ordered by descendant (the usual output order of the
+    stack-based algorithm).
+    """
+    size = container.size
+    result: list[tuple[int, int]] = []
+    stack: list[int] = []                 # open ancestor candidates
+    a_index = 0
+    for descendant in descendants:
+        # push every ancestor candidate that starts before this descendant
+        while a_index < len(ancestors) and ancestors[a_index] < descendant:
+            candidate = ancestors[a_index]
+            a_index += 1
+            # pop candidates whose subtree ended before this one starts
+            while stack and stack[-1] + size[stack[-1]] < candidate:
+                stack.pop()
+            stack.append(candidate)
+        # pop candidates whose subtree ended before the descendant
+        while stack and stack[-1] + size[stack[-1]] < descendant:
+            stack.pop()
+        for ancestor in stack:
+            if ancestor < descendant <= ancestor + size[ancestor]:
+                result.append((ancestor, descendant))
+    return result
+
+
+def structural_join_descendant_step(container: DocumentContainer,
+                                    context: list[int]) -> list[int]:
+    """Evaluate a descendant step via structural join + duplicate elimination.
+
+    This is the comparison baseline: the structural join produces one output
+    pair per (context, descendant) combination, so overlapping context nodes
+    generate duplicates that an explicit duplicate-elimination step must
+    remove (the staircase join avoids generating them in the first place).
+    """
+    descendants = list(range(container.node_count))
+    pairs = structural_join(container, sorted(set(context)), descendants)
+    seen: set[int] = set()
+    result: list[int] = []
+    for _, descendant in pairs:
+        if descendant not in seen:
+            seen.add(descendant)
+            result.append(descendant)
+    result.sort()
+    return result

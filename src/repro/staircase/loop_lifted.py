@@ -1,0 +1,337 @@
+"""Loop-lifted staircase join — Section 3 of the paper.
+
+The loop-lifted staircase join evaluates an XPath location step for *all*
+context-node sequences of *all* iterations of the enclosing ``for``-loops in
+a single sequential pass over the document encoding.  Its input is the
+relational encoding of the context: ``(pre, iter)`` pairs sorted on
+``[pre, iter]`` (document order, iterations clustered per context node); its
+output is a list of ``(iter, pre)`` result pairs such that
+
+* within one iteration, result nodes are duplicate free and in document
+  order, and
+* result nodes that belong to multiple iterations occur in iteration order
+  (the inner ``FOR iter FROM fstIter TO lstIter`` loop of Figure 6).
+
+The module provides the stack-based ``child`` algorithm of Figure 6, a
+matching single-scan ``descendant`` algorithm, and loop-lifted versions of
+the remaining axes.  ``loop_lifted_step`` dispatches on the axis and applies
+an optional node test as a post-filter (see :mod:`repro.staircase.pushdown`
+for the pushed-down variant).
+
+The *iterative* execution mode used as the Figure 12 baseline simply calls
+the plain staircase join once per iteration — see
+:func:`iterative_step` below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StaircaseJoinError
+from ..xml.document import DocumentContainer, NodeKind
+from .axes import Axis, NodeTest
+from .iterative import StaircaseStats, attribute_step, staircase_join
+
+
+ContextPairs = list[tuple[int, int]]      # (pre, iter), sorted on [pre, iter]
+ResultPairs = list[tuple[int, int]]       # (iter, pre)
+
+
+def normalize_context(pairs: ContextPairs) -> ContextPairs:
+    """Sort the context on ``[pre, iter]`` and drop duplicate pairs."""
+    return sorted(set(pairs))
+
+
+# --------------------------------------------------------------------------- #
+# child axis — the detailed algorithm of Figure 6
+# --------------------------------------------------------------------------- #
+def ll_child(container: DocumentContainer, context: ContextPairs, *,
+             stats: StaircaseStats | None = None) -> ResultPairs:
+    """Loop-lifted staircase join for the ``child`` axis (Figure 6).
+
+    A stack of *active* context nodes is maintained; each entry records the
+    end of its partition (``eos``), the next child still to be produced
+    (``nxt_child``) and the iterations in which the context node is active.
+    Children are produced by skipping over their subtrees; when the scan
+    reaches the next context node the current context is suspended (pushed
+    deeper) and resumed after the inner context's partition is finished.
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    result: ResultPairs = []
+    size = container.size
+
+    # group consecutive context entries that share the same pre value
+    groups: list[tuple[int, list[int]]] = []       # (pre, [iters])
+    for pre, iteration in context:
+        if groups and groups[-1][0] == pre:
+            groups[-1][1].append(iteration)
+        else:
+            groups.append((pre, [iteration]))
+
+    # stack entries: [eos, nxt_child, iters]
+    active: list[list] = []
+
+    def inner_loop_child(limit: int) -> None:
+        """Produce children of the top context up to pre rank ``limit``."""
+        entry = active[-1]
+        next_child = entry[1]
+        iters = entry[2]
+        while next_child <= limit:
+            stats.touch()
+            for iteration in iters:
+                result.append((iteration, next_child))
+            next_child += size[next_child] + 1
+        entry[1] = next_child
+
+    index = 0
+    while index < len(groups):
+        pre, iters = groups[index]
+        stats.touch()
+        if not active:
+            active.append([pre + size[pre], pre + 1, iters])       # push_ctx
+            index += 1
+        elif active[-1][0] >= pre:
+            # next context node is a descendant of the current context node:
+            # produce the current context's children up to it, then push
+            inner_loop_child(pre)
+            active.append([pre + size[pre], pre + 1, iters])
+            index += 1
+        else:
+            # next context is outside the current partition: finish it
+            inner_loop_child(active[-1][0])
+            active.pop()
+    while active:
+        inner_loop_child(active[-1][0])
+        active.pop()
+
+    stats.results += len(result)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# descendant / descendant-or-self — single scan with an active-iteration stack
+# --------------------------------------------------------------------------- #
+def ll_descendant(container: DocumentContainer, context: ContextPairs, *,
+                  or_self: bool = False,
+                  stats: StaircaseStats | None = None) -> ResultPairs:
+    """Loop-lifted descendant(-or-self) step.
+
+    The document region spanned by the context is scanned once; a stack of
+    ``(eos, iteration)`` entries tracks which iterations are currently
+    *active* (their context subtree covers the scan position).  Pruning
+    happens per iteration: a context node whose iteration is already active
+    is ignored (it would only generate duplicates within that iteration).
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    result: ResultPairs = []
+    size = container.size
+
+    active: list[tuple[int, int]] = []      # (eos, iteration); one entry per iter
+    index = 0
+    total = len(context)
+    position = context[0][0] if context else 0
+
+    while index < total or active:
+        if not active:
+            # skipping: jump straight to the next context node
+            position = context[index][0]
+        # retire partitions that ended before the current position
+        if active:
+            active = [(end, iteration) for end, iteration in active
+                      if end >= position]
+        # the current node is a descendant of every still-active context
+        if active:
+            stats.touch()
+            for _, iteration in active:
+                result.append((iteration, position))
+        # activate context nodes located at the current position
+        while index < total and context[index][0] == position:
+            pre, iteration = context[index]
+            index += 1
+            stats.touch()
+            if any(active_iter == iteration for _, active_iter in active):
+                # pruning: this iteration is already covered by an outer
+                # context node — the node above was (or will be) emitted for
+                # it anyway
+                stats.contexts_pruned += 1
+                continue
+            active.append((pre + size[pre], iteration))
+            if or_self:
+                result.append((iteration, pre))
+        position += 1
+
+    stats.results += len(result)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# remaining axes
+# --------------------------------------------------------------------------- #
+def ll_self(container: DocumentContainer, context: ContextPairs) -> ResultPairs:
+    return [(iteration, pre) for pre, iteration in normalize_context(context)]
+
+
+def ll_parent(container: DocumentContainer, context: ContextPairs) -> ResultPairs:
+    result: ResultPairs = []
+    seen: set[tuple[int, int]] = set()
+    for pre, iteration in normalize_context(context):
+        parent = container.parent_pre(pre)
+        if parent is None:
+            continue
+        key = (iteration, parent)
+        if key not in seen:
+            seen.add(key)
+            result.append(key)
+    return result
+
+
+def ll_ancestor(container: DocumentContainer, context: ContextPairs, *,
+                or_self: bool = False) -> ResultPairs:
+    seen: set[tuple[int, int]] = set()
+    for pre, iteration in normalize_context(context):
+        if or_self:
+            seen.add((iteration, pre))
+        current = container.parent_pre(pre)
+        while current is not None:
+            key = (iteration, current)
+            if key in seen:
+                break                   # pruning: path already emitted
+            seen.add(key)
+            current = container.parent_pre(current)
+    return sorted(seen, key=lambda pair: (pair[1], pair[0]))
+
+
+def ll_following(container: DocumentContainer, context: ContextPairs) -> ResultPairs:
+    # per iteration the union of following regions starts after the earliest
+    # context subtree end
+    first_end: dict[int, int] = {}
+    for pre, iteration in context:
+        end = pre + container.size[pre]
+        if iteration not in first_end or end < first_end[iteration]:
+            first_end[iteration] = end
+    result: ResultPairs = []
+    for node in range(container.node_count):
+        for iteration, end in first_end.items():
+            if node > end:
+                result.append((iteration, node))
+    return result
+
+
+def ll_preceding(container: DocumentContainer, context: ContextPairs) -> ResultPairs:
+    last: dict[int, int] = {}
+    for pre, iteration in context:
+        if iteration not in last or pre > last[iteration]:
+            last[iteration] = pre
+    result: ResultPairs = []
+    for node in range(container.node_count):
+        node_end = node + container.size[node]
+        for iteration, pre in last.items():
+            if node < pre and node_end < pre:
+                result.append((iteration, node))
+    return result
+
+
+def ll_siblings(container: DocumentContainer, context: ContextPairs, *,
+                following: bool) -> ResultPairs:
+    seen: set[tuple[int, int]] = set()
+    for pre, iteration in normalize_context(context):
+        parent = container.parent_pre(pre)
+        if parent is None:
+            continue
+        if following:
+            sibling = pre + container.size[pre] + 1
+            end = parent + container.size[parent]
+            while sibling <= end:
+                seen.add((iteration, sibling))
+                sibling += container.size[sibling] + 1
+        else:
+            sibling = parent + 1
+            while sibling < pre:
+                seen.add((iteration, sibling))
+                sibling += container.size[sibling] + 1
+    return sorted(seen, key=lambda pair: (pair[1], pair[0]))
+
+
+def ll_attribute(container: DocumentContainer, context: ContextPairs,
+                 name: str | None = None) -> list[tuple[int, int]]:
+    """Loop-lifted attribute step: returns ``(iter, attribute_row)`` pairs."""
+    wanted = None
+    if name is not None and name != "*":
+        wanted = container.names.lookup(name)
+        if wanted is None:
+            return []
+    result: list[tuple[int, int]] = []
+    for pre, iteration in normalize_context(context):
+        for attr_index in container.attributes_of(pre):
+            if wanted is None or container.attr_name[attr_index] == wanted:
+                result.append((iteration, attr_index))
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# dispatching entry points
+# --------------------------------------------------------------------------- #
+def loop_lifted_step(container: DocumentContainer, context: ContextPairs,
+                     axis: Axis, node_test: NodeTest | None = None, *,
+                     stats: StaircaseStats | None = None) -> ResultPairs:
+    """Evaluate one location step for all iterations in a single pass."""
+    if axis is Axis.ATTRIBUTE:
+        raise StaircaseJoinError("attribute axis is handled by ll_attribute()")
+    if axis is Axis.CHILD:
+        result = ll_child(container, context, stats=stats)
+    elif axis is Axis.DESCENDANT:
+        result = ll_descendant(container, context, stats=stats)
+    elif axis is Axis.DESCENDANT_OR_SELF:
+        result = ll_descendant(container, context, or_self=True, stats=stats)
+    elif axis is Axis.SELF:
+        result = ll_self(container, context)
+    elif axis is Axis.PARENT:
+        result = ll_parent(container, context)
+    elif axis is Axis.ANCESTOR:
+        result = ll_ancestor(container, context)
+    elif axis is Axis.ANCESTOR_OR_SELF:
+        result = ll_ancestor(container, context, or_self=True)
+    elif axis is Axis.FOLLOWING:
+        result = ll_following(container, context)
+    elif axis is Axis.PRECEDING:
+        result = ll_preceding(container, context)
+    elif axis is Axis.FOLLOWING_SIBLING:
+        result = ll_siblings(container, context, following=True)
+    elif axis is Axis.PRECEDING_SIBLING:
+        result = ll_siblings(container, context, following=False)
+    else:  # pragma: no cover - defensive
+        raise StaircaseJoinError(f"unsupported axis {axis}")
+
+    if node_test is not None and node_test != NodeTest(kind="node"):
+        result = [(iteration, pre) for iteration, pre in result
+                  if node_test.matches_tree_node(container, pre)]
+    return result
+
+
+def iterative_step(container: DocumentContainer, context: ContextPairs,
+                   axis: Axis, node_test: NodeTest | None = None, *,
+                   stats: StaircaseStats | None = None) -> ResultPairs:
+    """Figure 12 baseline: one plain staircase join per iteration.
+
+    The context pairs are grouped by iteration and the plain (single context
+    set) staircase join is invoked once per group — i.e. one sequential pass
+    over the document per iteration, which is exactly the overhead the
+    loop-lifted algorithm removes.
+    """
+    if axis is Axis.ATTRIBUTE:
+        raise StaircaseJoinError("attribute axis is handled by ll_attribute()")
+    by_iteration: dict[int, list[int]] = {}
+    for pre, iteration in context:
+        by_iteration.setdefault(iteration, []).append(pre)
+    result: ResultPairs = []
+    for iteration in sorted(by_iteration):
+        nodes = staircase_join(container, by_iteration[iteration], axis,
+                               node_test, stats=stats)
+        result.extend((iteration, pre) for pre in nodes)
+    return result

@@ -1,0 +1,134 @@
+"""Nametest / predicate pushdown variants of the loop-lifted staircase join.
+
+Section 3.2: instead of applying a name test (or a more general predicate)
+as a post-filter on the full step result, the predicate can be evaluated on
+the whole document first — typically answered by the element-name index of
+the document container — and the location step is then executed only against
+this *candidate list*.  Result generation checks membership in the candidate
+list via a two-way merge, and the skipping logic can jump over context nodes
+that can never reach the next candidate.
+
+This pays off whenever the name test is more selective than the pure
+location step (e.g. the descendant steps from the document root in XMark
+Q6/Q7, where without pushdown the step would materialise almost the whole
+document).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..xml.document import DocumentContainer
+from .axes import Axis, NodeTest
+from .iterative import StaircaseStats
+from .loop_lifted import (ContextPairs, ResultPairs, ll_attribute,
+                          loop_lifted_step, normalize_context)
+
+
+def candidate_list(container: DocumentContainer, node_test: NodeTest) -> list[int] | None:
+    """The document-ordered candidate pre list for a node test.
+
+    Returns ``None`` when no index-backed candidate list is available (no
+    name test, or a non-element kind test) — callers then fall back to the
+    post-filter strategy.
+    """
+    if node_test is None or not node_test.has_name or node_test.kind != "element":
+        return None
+    return container.candidates_by_name(node_test.name)
+
+
+def ll_child_pushdown(container: DocumentContainer, context: ContextPairs,
+                      candidates: list[int], *,
+                      stats: StaircaseStats | None = None) -> ResultPairs:
+    """Loop-lifted child step against a sorted candidate list.
+
+    For every (outermost-per-iteration) context node the candidates falling
+    inside its subtree are located with a range lookup; a candidate is a
+    child iff its level is one below the context node's level.
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    result: ResultPairs = []
+    size = container.size
+    level = container.level
+    for pre, iteration in context:
+        stats.touch()
+        end = pre + size[pre]
+        child_level = level[pre] + 1
+        start = bisect.bisect_right(candidates, pre)
+        position = start
+        while position < len(candidates) and candidates[position] <= end:
+            candidate = candidates[position]
+            stats.touch()
+            if level[candidate] == child_level:
+                result.append((iteration, candidate))
+            position += 1
+    result.sort(key=lambda pair: (pair[1], pair[0]))
+    return result
+
+
+def ll_descendant_pushdown(container: DocumentContainer, context: ContextPairs,
+                           candidates: list[int], *, or_self: bool = False,
+                           stats: StaircaseStats | None = None) -> ResultPairs:
+    """Loop-lifted descendant(-or-self) step against a sorted candidate list.
+
+    Per iteration the context nodes are pruned to their outermost
+    representatives; each surviving context contributes the candidates inside
+    its pre range, located by binary search (skipping over candidate-free
+    document regions entirely).
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    size = container.size
+
+    # prune per iteration: keep only context nodes not covered by an earlier
+    # context node of the same iteration
+    covered_until: dict[int, int] = {}
+    pruned: ContextPairs = []
+    for pre, iteration in context:
+        end = covered_until.get(iteration, -1)
+        if pre <= end:
+            stats.contexts_pruned += 1
+            continue
+        pruned.append((pre, iteration))
+        covered_until[iteration] = pre + size[pre]
+
+    result: ResultPairs = []
+    for pre, iteration in pruned:
+        stats.touch()
+        low = pre if or_self else pre + 1
+        high = pre + size[pre]
+        start = bisect.bisect_left(candidates, low)
+        position = start
+        while position < len(candidates) and candidates[position] <= high:
+            stats.touch()
+            result.append((iteration, candidates[position]))
+            position += 1
+    result.sort(key=lambda pair: (pair[1], pair[0]))
+    return result
+
+
+def loop_lifted_step_pushdown(container: DocumentContainer, context: ContextPairs,
+                              axis: Axis, node_test: NodeTest | None, *,
+                              stats: StaircaseStats | None = None) -> ResultPairs | None:
+    """Pushdown-enabled location step.
+
+    Returns ``None`` when pushdown is not applicable for the axis/node-test
+    combination, in which case the caller should use the post-filter variant
+    (:func:`repro.staircase.loop_lifted.loop_lifted_step`).
+    """
+    candidates = candidate_list(container, node_test) if node_test else None
+    if candidates is None:
+        return None
+    if axis is Axis.CHILD:
+        return ll_child_pushdown(container, context, candidates, stats=stats)
+    if axis is Axis.DESCENDANT:
+        return ll_descendant_pushdown(container, context, candidates, stats=stats)
+    if axis is Axis.DESCENDANT_OR_SELF:
+        return ll_descendant_pushdown(container, context, candidates,
+                                      or_self=True, stats=stats)
+    return None

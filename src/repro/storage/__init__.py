@@ -1,0 +1,16 @@
+"""Page-wise updatable storage for the ``pre|size|level`` encoding (Section 5.2)."""
+
+from .locking import DeltaRecord, SizeDeltaLedger, TransactionManager
+from .pages import UNUSED, PagedStructure, PageMapEntry
+from .updatable import UpdatableDocument, UpdateStats
+
+__all__ = [
+    "DeltaRecord",
+    "PageMapEntry",
+    "PagedStructure",
+    "SizeDeltaLedger",
+    "TransactionManager",
+    "UNUSED",
+    "UpdatableDocument",
+    "UpdateStats",
+]

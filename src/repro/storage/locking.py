@@ -1,0 +1,95 @@
+"""Size-delta ledger: commit-time maintenance of ancestor ``size`` values.
+
+Section 5.2 points out that a structural update changes the ``size`` of every
+ancestor of the update point — including the document root — which would
+force every updating transaction to hold a lock on the root.  The proposed
+way out is to record, per transaction, a list of *(node, delta)* pairs
+instead of absolute values: the lock on ``size`` can be released immediately
+and the delta is applied at commit time, even if another committed
+transaction has changed the value in the meantime.
+
+:class:`SizeDeltaLedger` implements that bookkeeping plus a tiny transaction
+log so tests can exercise the interleaving scenario of the paper (two
+transactions updating the same ancestor's size without conflicting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeltaRecord:
+    """One pending size change of one node (identified by its stable uid)."""
+
+    node_uid: int
+    delta: int
+
+
+@dataclass
+class SizeDeltaLedger:
+    """Pending and committed size deltas, grouped per transaction."""
+
+    pending: list[DeltaRecord] = field(default_factory=list)
+    committed: list[list[DeltaRecord]] = field(default_factory=list)
+
+    def record(self, node_uid: int, delta: int) -> None:
+        """Record a size change of ``delta`` for the node ``node_uid``."""
+        self.pending.append(DeltaRecord(node_uid, delta))
+
+    def pending_delta(self, node_uid: int) -> int:
+        """Net pending delta for one node (not yet committed)."""
+        return sum(record.delta for record in self.pending
+                   if record.node_uid == node_uid)
+
+    def commit(self) -> list[DeltaRecord]:
+        """Commit the current transaction's deltas; returns what was committed."""
+        committed = list(self.pending)
+        self.committed.append(committed)
+        self.pending.clear()
+        return committed
+
+    def rollback(self) -> list[DeltaRecord]:
+        """Discard the pending deltas (the caller undoes its table changes)."""
+        discarded = list(self.pending)
+        self.pending.clear()
+        return discarded
+
+    def total_committed_delta(self, node_uid: int) -> int:
+        """Net committed delta of one node across all transactions."""
+        return sum(record.delta
+                   for transaction in self.committed
+                   for record in transaction
+                   if record.node_uid == node_uid)
+
+
+class TransactionManager:
+    """A minimal two-transaction interleaving harness used by the tests.
+
+    It demonstrates that with delta-based size maintenance two transactions
+    touching the same ancestor commit in either order and converge to the
+    same final size — without ever holding a lock on the shared ancestor
+    between their update and their commit.
+    """
+
+    def __init__(self, initial_sizes: dict[int, int]):
+        self.sizes = dict(initial_sizes)
+        self._open: dict[str, list[DeltaRecord]] = {}
+
+    def begin(self, transaction_id: str) -> None:
+        if transaction_id in self._open:
+            raise ValueError(f"transaction {transaction_id!r} already open")
+        self._open[transaction_id] = []
+
+    def add_delta(self, transaction_id: str, node_uid: int, delta: int) -> None:
+        self._open[transaction_id].append(DeltaRecord(node_uid, delta))
+
+    def commit(self, transaction_id: str) -> None:
+        for record in self._open.pop(transaction_id):
+            self.sizes[record.node_uid] = self.sizes.get(record.node_uid, 0) + record.delta
+
+    def rollback(self, transaction_id: str) -> None:
+        self._open.pop(transaction_id)
+
+    def size(self, node_uid: int) -> int:
+        return self.sizes.get(node_uid, 0)

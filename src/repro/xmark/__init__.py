@@ -1,0 +1,20 @@
+"""XMark benchmark substrate: document generator, the 20 queries, a runner."""
+
+from .generator import XMarkCounts, XMarkGenerator, generate_document, load_xmark
+from .queries import JOIN_QUERIES, XMARK_QUERIES, all_queries, xmark_query
+from .runner import QueryTiming, XMarkRun, make_engine, run_queries
+
+__all__ = [
+    "JOIN_QUERIES",
+    "QueryTiming",
+    "XMARK_QUERIES",
+    "XMarkCounts",
+    "XMarkGenerator",
+    "XMarkRun",
+    "all_queries",
+    "generate_document",
+    "load_xmark",
+    "make_engine",
+    "run_queries",
+    "xmark_query",
+]

@@ -1,0 +1,283 @@
+"""Deterministic XMark-like auction document generator.
+
+The XMark benchmark [36] models an internet auction site; its ``xmlgen``
+tool produces documents whose size is controlled by a *scale factor*
+(factor 1.0 ≈ 111 MB).  The original generator (and its Shakespearean word
+list) is not redistributable here, so this module generates documents with
+the same element structure, attributes and cross-references that the twenty
+XMark queries navigate:
+
+* ``regions`` with the six continents, each holding ``item`` elements
+  (name, location, quantity, payment, description, shipping, incategory,
+  mailbox/mail),
+* ``categories`` and the ``catgraph`` edge list,
+* ``people`` with ``person`` elements (name, emailaddress, phone, address,
+  homepage, creditcard, profile/@income with interests, watches),
+* ``open_auctions`` with bidders (date, time, personref, increase), initial,
+  current, reserve, itemref, seller, annotation and
+* ``closed_auctions`` with seller, buyer, price, itemref, annotation.
+
+Annotation descriptions occasionally contain the deep
+``parlist/listitem/parlist/listitem/text/emph/keyword`` nesting that XMark
+queries Q15/Q16 look for, and item descriptions occasionally contain the
+word ``gold`` that Q14 searches.  Everything is derived from a seeded RNG,
+so a given ``(scale, seed)`` pair always yields the identical document.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..xml.document import DocumentContainer, DocumentStore
+from ..xml.shredder import shred_document
+
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+_WORDS = ("auction", "bid", "gold", "silver", "vintage", "rare", "mint",
+          "classic", "signed", "antique", "modern", "large", "small",
+          "bargain", "collector", "pristine", "painted", "carved", "royal",
+          "humble", "ornate", "plain", "shiny", "dull", "heavy", "light")
+_CITIES = ("Amsterdam", "Munich", "Enschede", "Chicago", "Tokyo", "Lima",
+           "Nairobi", "Sydney", "Toronto", "Madrid")
+_COUNTRIES = ("Netherlands", "Germany", "United States", "Japan", "Peru",
+              "Kenya", "Australia", "Canada", "Spain", "France")
+_FIRST = ("Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi",
+          "Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy", "Rupert",
+          "Sybil", "Trent", "Victor", "Wendy", "Yolanda")
+_LAST = ("Smith", "Jones", "Miller", "Garcia", "Chen", "Kumar", "Silva",
+         "Olsen", "Dubois", "Rossi", "Novak", "Tanaka", "Okafor", "Haines")
+_EDUCATION = ("High School", "College", "Graduate School", "Other")
+
+
+@dataclass
+class XMarkCounts:
+    """Entity counts derived from the scale factor (xmlgen proportions)."""
+
+    items: int
+    persons: int
+    open_auctions: int
+    closed_auctions: int
+    categories: int
+
+    @classmethod
+    def for_scale(cls, scale: float) -> "XMarkCounts":
+        return cls(
+            items=max(6, int(21750 * scale)),
+            persons=max(4, int(25500 * scale)),
+            open_auctions=max(3, int(12000 * scale)),
+            closed_auctions=max(3, int(9750 * scale)),
+            categories=max(2, int(1000 * scale)),
+        )
+
+
+class XMarkGenerator:
+    """Generate XMark-like documents for a given scale factor."""
+
+    def __init__(self, scale: float = 0.001, seed: int = 42):
+        self.scale = scale
+        self.seed = seed
+        self.counts = XMarkCounts.for_scale(scale)
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> str:
+        """Produce the document as an XML string."""
+        rng = random.Random(self.seed)
+        counts = self.counts
+        parts: list[str] = ["<site>"]
+        parts.append(self._regions(rng, counts))
+        parts.append(self._categories(rng, counts))
+        parts.append(self._catgraph(rng, counts))
+        parts.append(self._people(rng, counts))
+        parts.append(self._open_auctions(rng, counts))
+        parts.append(self._closed_auctions(rng, counts))
+        parts.append("</site>")
+        return "".join(parts)
+
+    def shred(self, store: DocumentStore, name: str = "auction.xml") -> DocumentContainer:
+        """Generate and shred the document into a document store."""
+        return shred_document(self.generate(), name, store)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _sentence(self, rng: random.Random, words: int) -> str:
+        return " ".join(rng.choice(_WORDS) for _ in range(words))
+
+    def _description(self, rng: random.Random, *, deep: bool) -> str:
+        """A description element; ``deep`` adds the Q15/Q16 parlist nesting."""
+        text = self._sentence(rng, rng.randint(4, 12))
+        if not deep:
+            return f"<description><text>{text}</text></description>"
+        keyword = rng.choice(_WORDS)
+        return ("<description><parlist><listitem><parlist><listitem>"
+                f"<text><emph><keyword>{keyword}</keyword></emph> {text}</text>"
+                "</listitem></parlist></listitem></parlist></description>")
+
+    def _regions(self, rng: random.Random, counts: XMarkCounts) -> str:
+        parts = ["<regions>"]
+        item_index = 0
+        for region_number, region in enumerate(_REGIONS):
+            share = counts.items // len(_REGIONS)
+            if region_number < counts.items % len(_REGIONS):
+                share += 1
+            parts.append(f"<{region}>")
+            for _ in range(share):
+                parts.append(self._item(rng, item_index, counts))
+                item_index += 1
+            parts.append(f"</{region}>")
+        parts.append("</regions>")
+        return "".join(parts)
+
+    def _item(self, rng: random.Random, index: int, counts: XMarkCounts) -> str:
+        name = f"{rng.choice(_WORDS)} {rng.choice(_WORDS)} {index}"
+        deep = rng.random() < 0.1
+        mails = "".join(
+            f"<mail><from>{rng.choice(_FIRST)}</from><to>{rng.choice(_FIRST)}</to>"
+            f"<date>{self._date(rng)}</date><text>{self._sentence(rng, 6)}</text></mail>"
+            for _ in range(rng.randint(0, 2)))
+        incategories = "".join(
+            f'<incategory category="category{rng.randrange(counts.categories)}"/>'
+            for _ in range(rng.randint(1, 3)))
+        return (
+            f'<item id="item{index}" featured="{"yes" if rng.random() < 0.1 else "no"}">'
+            f"<location>{rng.choice(_COUNTRIES)}</location>"
+            f"<quantity>{rng.randint(1, 5)}</quantity>"
+            f"<name>{name}</name>"
+            f"<payment>Creditcard</payment>"
+            f"{self._description(rng, deep=deep)}"
+            f"<shipping>Will ship internationally</shipping>"
+            f"{incategories}"
+            f"<mailbox>{mails}</mailbox>"
+            f"</item>")
+
+    def _categories(self, rng: random.Random, counts: XMarkCounts) -> str:
+        parts = ["<categories>"]
+        for index in range(counts.categories):
+            parts.append(
+                f'<category id="category{index}">'
+                f"<name>{rng.choice(_WORDS)} {index}</name>"
+                f"{self._description(rng, deep=False)}"
+                f"</category>")
+        parts.append("</categories>")
+        return "".join(parts)
+
+    def _catgraph(self, rng: random.Random, counts: XMarkCounts) -> str:
+        edges = []
+        for _ in range(counts.categories):
+            source = rng.randrange(counts.categories)
+            target = rng.randrange(counts.categories)
+            edges.append(f'<edge from="category{source}" to="category{target}"/>')
+        return "<catgraph>" + "".join(edges) + "</catgraph>"
+
+    def _date(self, rng: random.Random) -> str:
+        return f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/{rng.randint(1998, 2001)}"
+
+    def _people(self, rng: random.Random, counts: XMarkCounts) -> str:
+        parts = ["<people>"]
+        for index in range(counts.persons):
+            name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+            email = f"<emailaddress>mailto:{name.replace(' ', '.')}@example.org</emailaddress>"
+            phone = (f"<phone>+1 ({rng.randint(100, 999)}) {rng.randint(1000000, 9999999)}</phone>"
+                     if rng.random() < 0.5 else "")
+            address = ""
+            if rng.random() < 0.6:
+                address = (f"<address><street>{rng.randint(1, 99)} {rng.choice(_WORDS)} St</street>"
+                           f"<city>{rng.choice(_CITIES)}</city>"
+                           f"<country>{rng.choice(_COUNTRIES)}</country>"
+                           f"<zipcode>{rng.randint(10000, 99999)}</zipcode></address>")
+            homepage = (f"<homepage>http://www.example.org/~person{index}</homepage>"
+                        if rng.random() < 0.5 else "")
+            creditcard = (f"<creditcard>{rng.randint(1000, 9999)} {rng.randint(1000, 9999)} "
+                          f"{rng.randint(1000, 9999)} {rng.randint(1000, 9999)}</creditcard>"
+                          if rng.random() < 0.7 else "")
+            profile = ""
+            if rng.random() < 0.8:
+                interests = "".join(
+                    f'<interest category="category{rng.randrange(counts.categories)}"/>'
+                    for _ in range(rng.randint(0, 4)))
+                education = (f"<education>{rng.choice(_EDUCATION)}</education>"
+                             if rng.random() < 0.5 else "")
+                gender = (f"<gender>{rng.choice(('male', 'female'))}</gender>"
+                          if rng.random() < 0.5 else "")
+                age = (f"<age>{rng.randint(18, 80)}</age>" if rng.random() < 0.5 else "")
+                income = round(rng.uniform(9000, 150000), 2)
+                profile = (f'<profile income="{income}">{interests}{education}{gender}'
+                           f"<business>{'Yes' if rng.random() < 0.2 else 'No'}</business>"
+                           f"{age}</profile>")
+            watches = ""
+            if rng.random() < 0.4 and counts.open_auctions:
+                watches = "<watches>" + "".join(
+                    f'<watch open_auction="open_auction{rng.randrange(counts.open_auctions)}"/>'
+                    for _ in range(rng.randint(1, 3))) + "</watches>"
+            parts.append(
+                f'<person id="person{index}">'
+                f"<name>{name}</name>{email}{phone}{address}{homepage}{creditcard}"
+                f"{profile}{watches}</person>")
+        parts.append("</people>")
+        return "".join(parts)
+
+    def _open_auctions(self, rng: random.Random, counts: XMarkCounts) -> str:
+        parts = ["<open_auctions>"]
+        for index in range(counts.open_auctions):
+            initial = round(rng.uniform(1, 300), 2)
+            increases = [round(rng.uniform(1, 30), 2)
+                         for _ in range(rng.randint(0, 5))]
+            current = round(initial + sum(increases), 2)
+            bidders = "".join(
+                f"<bidder><date>{self._date(rng)}</date><time>{rng.randint(0, 23):02d}:"
+                f"{rng.randint(0, 59):02d}:00</time>"
+                f'<personref person="person{rng.randrange(counts.persons)}"/>'
+                f"<increase>{increase}</increase></bidder>"
+                for increase in increases)
+            reserve = (f"<reserve>{round(initial * rng.uniform(1.1, 2.5), 2)}</reserve>"
+                       if rng.random() < 0.6 else "")
+            privacy = "<privacy>Yes</privacy>" if rng.random() < 0.3 else ""
+            deep = rng.random() < 0.15
+            parts.append(
+                f'<open_auction id="open_auction{index}">'
+                f"<initial>{initial}</initial>{reserve}{bidders}"
+                f"<current>{current}</current>{privacy}"
+                f'<itemref item="item{rng.randrange(counts.items)}"/>'
+                f'<seller person="person{rng.randrange(counts.persons)}"/>'
+                f'<annotation><author person="person{rng.randrange(counts.persons)}"/>'
+                f"{self._description(rng, deep=deep)}"
+                f"<happiness>{rng.randint(1, 10)}</happiness></annotation>"
+                f"<quantity>{rng.randint(1, 5)}</quantity>"
+                f"<type>Regular</type>"
+                f"<interval><start>{self._date(rng)}</start><end>{self._date(rng)}</end></interval>"
+                f"</open_auction>")
+        parts.append("</open_auctions>")
+        return "".join(parts)
+
+    def _closed_auctions(self, rng: random.Random, counts: XMarkCounts) -> str:
+        parts = ["<closed_auctions>"]
+        for index in range(counts.closed_auctions):
+            deep = rng.random() < 0.25
+            parts.append(
+                "<closed_auction>"
+                f'<seller person="person{rng.randrange(counts.persons)}"/>'
+                f'<buyer person="person{rng.randrange(counts.persons)}"/>'
+                f'<itemref item="item{rng.randrange(counts.items)}"/>'
+                f"<price>{round(rng.uniform(5, 400), 2)}</price>"
+                f"<date>{self._date(rng)}</date>"
+                f"<quantity>{rng.randint(1, 5)}</quantity>"
+                f"<type>Regular</type>"
+                f'<annotation><author person="person{rng.randrange(counts.persons)}"/>'
+                f"{self._description(rng, deep=deep)}"
+                f"<happiness>{rng.randint(1, 10)}</happiness></annotation>"
+                "</closed_auction>")
+        parts.append("</closed_auctions>")
+        return "".join(parts)
+
+
+def generate_document(scale: float = 0.001, seed: int = 42) -> str:
+    """Generate an XMark-like document as XML text."""
+    return XMarkGenerator(scale, seed).generate()
+
+
+def load_xmark(engine, scale: float = 0.001, seed: int = 42,
+               name: str = "auction.xml"):
+    """Generate, shred and register an XMark document with an engine."""
+    text = generate_document(scale, seed)
+    return engine.load_document_text(text, name=name)

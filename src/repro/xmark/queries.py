@@ -1,0 +1,165 @@
+"""The twenty XMark benchmark queries, in the supported XQuery subset.
+
+The queries follow the published XMark query set [36].  Three adaptations
+were necessary (documented per query and in DESIGN.md):
+
+* Q4 uses the node-order comparison ``<<`` in the original; it is expressed
+  here via existence of both bidders (the navigational work is identical).
+* The original queries occasionally wrap operands in ``zero-or-one`` /
+  ``exactly-one``; these are kept where the subset supports them.
+* The string constants (person ids, keywords) are chosen to select a
+  non-empty but selective result on the generated documents.
+"""
+
+from __future__ import annotations
+
+
+XMARK_QUERIES: dict[int, str] = {
+    1: '''
+        for $b in /site/people/person[@id = "person0"]
+        return $b/name/text()
+    ''',
+    2: '''
+        for $b in /site/open_auctions/open_auction
+        return <increase>{ $b/bidder[1]/increase/text() }</increase>
+    ''',
+    3: '''
+        for $b in /site/open_auctions/open_auction
+        where zero-or-one($b/bidder[1]/increase/text()) * 2
+              <= $b/bidder[last()]/increase/text()
+        return <increase first="{$b/bidder[1]/increase/text()}"
+                         last="{$b/bidder[last()]/increase/text()}"/>
+    ''',
+    4: '''
+        for $b in /site/open_auctions/open_auction
+        where some $pr1 in $b/bidder/personref[@person = "person3"]
+              satisfies exists($b/bidder/personref[@person = "person2"])
+        return <history>{ $b/reserve/text() }</history>
+    ''',
+    5: '''
+        count(for $i in /site/closed_auctions/closed_auction
+              where $i/price/text() >= 40
+              return $i/price)
+    ''',
+    6: '''
+        for $b in /site/regions return count($b//item)
+    ''',
+    7: '''
+        for $p in /site
+        return count($p//description) + count($p//annotation) + count($p//emailaddress)
+    ''',
+    8: '''
+        for $p in /site/people/person
+        let $a := for $t in /site/closed_auctions/closed_auction
+                  where $t/buyer/@person = $p/@id
+                  return $t
+        return <item person="{$p/name/text()}">{ count($a) }</item>
+    ''',
+    9: '''
+        for $p in /site/people/person
+        let $a := for $t in /site/closed_auctions/closed_auction
+                  let $n := for $t2 in /site/regions/europe/item
+                            where $t/itemref/@item = $t2/@id
+                            return $t2
+                  where $p/@id = $t/buyer/@person
+                  return <item>{ $n/name/text() }</item>
+        return <person name="{$p/name/text()}">{ $a }</person>
+    ''',
+    10: '''
+        for $i in distinct-values(/site/people/person/profile/interest/@category)
+        let $p := for $t in /site/people/person
+                  where $t/profile/interest/@category = $i
+                  return <personne>
+                            <statistiques>
+                               <sexe>{ $t/profile/gender/text() }</sexe>
+                               <age>{ $t/profile/age/text() }</age>
+                               <education>{ $t/profile/education/text() }</education>
+                               <revenu>{ $t/profile/@income }</revenu>
+                            </statistiques>
+                            <coordonnees>
+                               <nom>{ $t/name/text() }</nom>
+                               <ville>{ $t/address/city/text() }</ville>
+                               <pays>{ $t/address/country/text() }</pays>
+                               <courrier>{ $t/emailaddress/text() }</courrier>
+                            </coordonnees>
+                            <cartePaiement>{ $t/creditcard/text() }</cartePaiement>
+                         </personne>
+        return <categorie>{ <id>{ $i }</id>, $p }</categorie>
+    ''',
+    11: '''
+        for $p in /site/people/person
+        let $l := for $i in /site/open_auctions/open_auction/initial
+                  where $p/profile/@income > 5000 * exactly-one($i/text())
+                  return $i
+        return <items name="{$p/name/text()}">{ count($l) }</items>
+    ''',
+    12: '''
+        for $p in /site/people/person
+        let $l := for $i in /site/open_auctions/open_auction/initial
+                  where $p/profile/@income > 5000 * exactly-one($i/text())
+                  return $i
+        where $p/profile/@income > 50000
+        return <items person="{$p/profile/@income}">{ count($l) }</items>
+    ''',
+    13: '''
+        for $i in /site/regions/australia/item
+        return <item name="{$i/name/text()}">{ $i/description }</item>
+    ''',
+    14: '''
+        for $i in /site//item
+        where contains(string(exactly-one($i/description)), "gold")
+        return $i/name/text()
+    ''',
+    15: '''
+        for $a in /site/closed_auctions/closed_auction/annotation/description/parlist/
+                  listitem/parlist/listitem/text/emph/keyword/text()
+        return <text>{ $a }</text>
+    ''',
+    16: '''
+        for $a in /site/closed_auctions/closed_auction
+        where not(empty($a/annotation/description/parlist/listitem/parlist/listitem/
+                        text/emph/keyword/text()))
+        return <person id="{$a/seller/@person}"/>
+    ''',
+    17: '''
+        for $p in /site/people/person
+        where empty($p/homepage/text())
+        return <person name="{$p/name/text()}"/>
+    ''',
+    18: '''
+        declare function local:convert($v) { 2.20371 * $v };
+        for $i in /site/open_auctions/open_auction
+        return local:convert(zero-or-one($i/reserve/text()))
+    ''',
+    19: '''
+        for $b in /site/regions//item
+        let $k := $b/name/text()
+        order by zero-or-one($b/location) ascending
+        return <item name="{$k}">{ $b/location/text() }</item>
+    ''',
+    20: '''
+        <result>
+          <preferred>{ count(/site/people/person/profile[@income >= 100000]) }</preferred>
+          <standard>{ count(/site/people/person/profile[@income < 100000 and @income >= 30000]) }</standard>
+          <challenge>{ count(/site/people/person/profile[@income < 30000]) }</challenge>
+          <na>{ count(for $p in /site/people/person
+                      where empty($p/profile/@income)
+                      return $p) }</na>
+        </result>
+    ''',
+}
+
+#: query numbers whose plans contain value joins (Figure 13)
+JOIN_QUERIES = (8, 9, 10, 11, 12)
+
+
+def xmark_query(number: int) -> str:
+    """The text of XMark query ``number`` (1-20)."""
+    if number not in XMARK_QUERIES:
+        raise KeyError(f"XMark defines queries 1..20, got {number}")
+    return XMARK_QUERIES[number]
+
+
+def all_queries() -> dict[int, str]:
+    """All twenty queries keyed by their number."""
+    return dict(XMARK_QUERIES)

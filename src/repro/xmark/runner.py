@@ -1,0 +1,67 @@
+"""Run XMark queries against the relational engine and the baseline.
+
+The runner is shared by the integration tests and by every benchmark: it
+loads a generated document into an engine, executes a selection of the
+twenty queries under a given option set, and reports per-query timings and
+result sizes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..xquery.engine import EngineOptions, MonetXQuery
+from .generator import generate_document
+from .queries import XMARK_QUERIES
+
+
+@dataclass
+class QueryTiming:
+    """Timing and result size of one query execution."""
+
+    query: int
+    seconds: float
+    result_size: int
+
+
+@dataclass
+class XMarkRun:
+    """The outcome of running a set of XMark queries."""
+
+    scale: float
+    timings: dict[int, QueryTiming] = field(default_factory=dict)
+
+    def seconds(self, query: int) -> float:
+        return self.timings[query].seconds
+
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.timings.values())
+
+
+def make_engine(scale: float = 0.001, seed: int = 42,
+                options: EngineOptions | None = None) -> MonetXQuery:
+    """A fresh engine with a generated XMark document loaded."""
+    engine = MonetXQuery(options=options)
+    engine.load_document_text(generate_document(scale, seed), name="auction.xml")
+    return engine
+
+
+def run_queries(engine: MonetXQuery, queries: list[int] | None = None, *,
+                options: EngineOptions | None = None,
+                scale: float = 0.0, repetitions: int = 1) -> XMarkRun:
+    """Execute the given XMark queries (all twenty by default)."""
+    numbers = queries if queries is not None else sorted(XMARK_QUERIES)
+    run = XMarkRun(scale=scale)
+    for number in numbers:
+        best = None
+        size = 0
+        for _ in range(repetitions):
+            engine.reset_transient()
+            started = time.perf_counter()
+            result = engine.query(XMARK_QUERIES[number], options=options)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+            size = len(result)
+        run.timings[number] = QueryTiming(number, best or 0.0, size)
+    return run

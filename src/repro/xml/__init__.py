@@ -1,0 +1,26 @@
+"""XML substrate: parser, ``pre|size|level`` shredder, containers, serializer."""
+
+from .document import DocumentContainer, DocumentStore, NodeKind, NodeRef
+from .names import NamePool, QName
+from .parser import XMLPullParser, parse_events
+from .serializer import serialize_item, serialize_node, serialize_sequence, serialize_subtree
+from .shredder import shred_document, shred_events, shred_file, shred_string
+
+__all__ = [
+    "DocumentContainer",
+    "DocumentStore",
+    "NamePool",
+    "NodeKind",
+    "NodeRef",
+    "QName",
+    "XMLPullParser",
+    "parse_events",
+    "serialize_item",
+    "serialize_node",
+    "serialize_sequence",
+    "serialize_subtree",
+    "shred_document",
+    "shred_events",
+    "shred_file",
+    "shred_string",
+]

@@ -1,0 +1,379 @@
+"""Document containers: the ``pre|size|level`` relational XML encoding.
+
+Following Section 2 and Figure 9 of the paper, every XML document (and the
+set of transient fragments a query constructs) lives in its own *document
+container*:
+
+* the structural table with columns ``size``, ``level``, ``kind`` (the
+  preorder rank ``pre`` is the implicit dense row id),
+* property containers per node kind — here flattened into a dictionary-
+  encoded ``name`` column (elements) and a ``value`` column (text, comment,
+  processing-instruction content),
+* a separate attribute table ``owner|name|value`` (attributes are not part
+  of the structural table, as in the paper),
+* a ``frag`` column keeping disjoint tree fragments apart inside the
+  transient container; document order across containers/fragments is the
+  ``[container, pre]`` combination.
+
+Node surrogates are :class:`NodeRef` values — the ``γ`` of Section 2.1 —
+which order by document order and compare by node identity.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Any, Iterable, Iterator
+
+from ..errors import DocumentError
+from ..relational.column import Column
+from ..relational.properties import ColumnProps, TableProps
+from ..relational.table import Table
+from .names import NamePool, QName
+
+
+class NodeKind(IntEnum):
+    """Node kinds stored in the structural table (plus ATTRIBUTE for refs)."""
+
+    DOCUMENT = 0
+    ELEMENT = 1
+    TEXT = 2
+    COMMENT = 3
+    PROCESSING_INSTRUCTION = 4
+    ATTRIBUTE = 5
+
+
+class NodeRef:
+    """A node surrogate: container + preorder rank (+ attribute slot).
+
+    ``NodeRef`` reflects document order (``<``) and node identity (``==``),
+    the two requirements Section 2.1 places on node surrogates.
+    """
+
+    __slots__ = ("container", "pre", "attr")
+
+    def __init__(self, container: "DocumentContainer", pre: int,
+                 attr: int | None = None):
+        self.container = container
+        self.pre = pre
+        self.attr = attr
+
+    # -- identity and order ------------------------------------------------ #
+    def order_key(self) -> tuple[int, int, int, int]:
+        if self.attr is None:
+            return (self.container.order_key, self.pre, 0, 0)
+        return (self.container.order_key, self.pre, 1, self.attr)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeRef):
+            return NotImplemented
+        return (self.container is other.container and self.pre == other.pre
+                and self.attr == other.attr)
+
+    def __hash__(self) -> int:
+        return hash((id(self.container), self.pre, self.attr))
+
+    def __lt__(self, other: "NodeRef") -> bool:
+        if not isinstance(other, NodeRef):
+            return NotImplemented
+        return self.order_key() < other.order_key()
+
+    def __le__(self, other: "NodeRef") -> bool:
+        return self == other or self < other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if self.attr is not None:
+            return f"NodeRef({self.container.name}, pre={self.pre}, attr={self.attr})"
+        return f"NodeRef({self.container.name}, pre={self.pre})"
+
+    # -- convenience accessors --------------------------------------------- #
+    @property
+    def kind(self) -> NodeKind:
+        if self.attr is not None:
+            return NodeKind.ATTRIBUTE
+        return NodeKind(self.container.kind[self.pre])
+
+    def name(self) -> str | None:
+        """Local name of an element or attribute node (None otherwise)."""
+        if self.attr is not None:
+            name_id = self.container.attr_name[self.attr]
+            return self.container.names.local(name_id)
+        name_id = self.container.name_id[self.pre]
+        if name_id < 0:
+            return None
+        return self.container.names.local(name_id)
+
+    def string_value(self) -> str:
+        """The XPath string value of the node."""
+        if self.attr is not None:
+            return self.container.attr_value[self.attr]
+        return self.container.string_value(self.pre)
+
+
+class DocumentContainer:
+    """One document (or the transient fragment store) in relational encoding."""
+
+    def __init__(self, name: str, order_key: int, *, transient: bool = False):
+        self.name = name
+        self.order_key = order_key
+        self.transient = transient
+        self.names = NamePool()
+        # structural table (pre is the implicit dense row id)
+        self.size: list[int] = []
+        self.level: list[int] = []
+        self.kind: list[int] = []
+        self.name_id: list[int] = []         # name id for elements, -1 otherwise
+        self.value: list[str | None] = []    # text / comment / PI content
+        self.frag: list[int] = []            # fragment id (root pre of the fragment)
+        # attribute table
+        self.attr_owner: list[int] = []
+        self.attr_name: list[int] = []
+        self.attr_value: list[str] = []
+        self._attrs_by_owner: dict[int, list[int]] = {}
+        # lazily built element-name index (nametest pushdown candidate lists)
+        self._name_index: dict[int, list[int]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction (used by the shredder and by node constructors)
+    # ------------------------------------------------------------------ #
+    def add_node(self, kind: NodeKind, level: int, *, name_id: int = -1,
+                 value: str | None = None, frag: int | None = None,
+                 size: int = 0) -> int:
+        """Append a node; returns its preorder rank."""
+        pre = len(self.size)
+        self.size.append(size)
+        self.level.append(level)
+        self.kind.append(int(kind))
+        self.name_id.append(name_id)
+        self.value.append(value)
+        self.frag.append(frag if frag is not None else pre)
+        self._name_index = None
+        return pre
+
+    def set_size(self, pre: int, size: int) -> None:
+        self.size[pre] = size
+
+    def add_attribute(self, owner: int, name_id: int, value: str) -> int:
+        index = len(self.attr_owner)
+        self.attr_owner.append(owner)
+        self.attr_name.append(name_id)
+        self.attr_value.append(value)
+        self._attrs_by_owner.setdefault(owner, []).append(index)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def node_count(self) -> int:
+        return len(self.size)
+
+    @property
+    def attribute_count(self) -> int:
+        return len(self.attr_owner)
+
+    def node(self, pre: int) -> NodeRef:
+        if pre < 0 or pre >= self.node_count:
+            raise DocumentError(f"pre value {pre} out of range for {self.name!r}")
+        return NodeRef(self, pre)
+
+    def attribute(self, index: int) -> NodeRef:
+        if index < 0 or index >= self.attribute_count:
+            raise DocumentError(f"attribute index {index} out of range")
+        return NodeRef(self, self.attr_owner[index], attr=index)
+
+    def attributes_of(self, pre: int) -> list[int]:
+        """Attribute-table row indexes owned by the element at ``pre``."""
+        return self._attrs_by_owner.get(pre, [])
+
+    def root_pre(self, pre: int) -> int:
+        """The root of the fragment containing ``pre`` (frag column)."""
+        return self.frag[pre]
+
+    def parent_pre(self, pre: int) -> int | None:
+        """The parent of ``pre`` (None for fragment roots).
+
+        With the pre/size/level encoding the parent is the closest preceding
+        node with a smaller level.
+        """
+        target_level = self.level[pre]
+        if target_level == 0:
+            return None
+        candidate = pre - 1
+        while candidate >= 0:
+            if self.level[candidate] < target_level:
+                return candidate
+            candidate -= 1
+        return None
+
+    def children_pre(self, pre: int) -> Iterator[int]:
+        """Iterate the children of ``pre`` using the size-skipping rule.
+
+        ``v1 = pre + 1`` is the first child and ``v_{i+1} = v_i + size(v_i) + 1``
+        (Section 2) — exactly the skipping the child staircase join exploits.
+        """
+        end = pre + self.size[pre]
+        child = pre + 1
+        while child <= end:
+            yield child
+            child += self.size[child] + 1
+
+    def descendants_pre(self, pre: int) -> range:
+        """Preorder ranks of the descendants of ``pre`` (excluding ``pre``)."""
+        return range(pre + 1, pre + self.size[pre] + 1)
+
+    def string_value(self, pre: int) -> str:
+        """Concatenation of all descendant-or-self text node contents."""
+        kind = self.kind[pre]
+        if kind in (NodeKind.TEXT, NodeKind.COMMENT, NodeKind.PROCESSING_INSTRUCTION):
+            return self.value[pre] or ""
+        pieces = []
+        for descendant in self.descendants_pre(pre):
+            if self.kind[descendant] == NodeKind.TEXT:
+                pieces.append(self.value[descendant] or "")
+        return "".join(pieces)
+
+    def element_name(self, pre: int) -> str | None:
+        name_id = self.name_id[pre]
+        if name_id < 0:
+            return None
+        return self.names.local(name_id)
+
+    # ------------------------------------------------------------------ #
+    # indexes
+    # ------------------------------------------------------------------ #
+    def name_index(self) -> dict[int, list[int]]:
+        """``name_id -> sorted pre list`` index over element nodes.
+
+        This is the element-name index of Figure 9 that the nametest
+        pushdown variant of the staircase join uses as its candidate list.
+        """
+        if self._name_index is None:
+            index: dict[int, list[int]] = {}
+            for pre, (kind, name_id) in enumerate(zip(self.kind, self.name_id)):
+                if kind == NodeKind.ELEMENT and name_id >= 0:
+                    index.setdefault(name_id, []).append(pre)
+            self._name_index = index
+        return self._name_index
+
+    def candidates_by_name(self, local: str) -> list[int]:
+        """Sorted pre ranks of elements with the given local name."""
+        name_id = self.names.lookup(local)
+        if name_id is None:
+            return []
+        return self.name_index().get(name_id, [])
+
+    # ------------------------------------------------------------------ #
+    # relational views
+    # ------------------------------------------------------------------ #
+    def structural_table(self) -> Table:
+        """The ``pre|size|level|kind|name|frag`` table as a relational Table."""
+        pre = Column.dense("pre", self.node_count)
+        props = TableProps(order=("pre",))
+        columns = [
+            pre,
+            Column("size", self.size),
+            Column("level", self.level),
+            Column("kind", self.kind),
+            Column("name", self.name_id),
+            Column("frag", self.frag),
+        ]
+        return Table(columns, props=props)
+
+    def attribute_table(self) -> Table:
+        """The attribute property container as a relational Table."""
+        columns = [
+            Column("owner", self.attr_owner),
+            Column("name", self.attr_name),
+            Column("value", self.attr_value),
+        ]
+        return Table(columns, props=TableProps(order=("owner",)))
+
+    # ------------------------------------------------------------------ #
+    # subtree copying (element construction, Section 5.1)
+    # ------------------------------------------------------------------ #
+    def copy_subtree_from(self, source: "DocumentContainer", source_pre: int,
+                          level_offset: int, frag: int) -> int:
+        """Paste the encoding of a subtree of ``source`` into this container.
+
+        The structural part is copied verbatim (pre ranks shift, sizes are
+        preserved); node properties are copied along.  Returns the pre rank
+        the copied subtree root received in this container.
+        """
+        base_level = source.level[source_pre]
+        new_root = len(self.size)
+        span = range(source_pre, source_pre + source.size[source_pre] + 1)
+        for pre in span:
+            name_id = source.name_id[pre]
+            new_name_id = -1
+            if name_id >= 0:
+                qname = source.names.name(name_id)
+                new_name_id = self.names.intern(qname.local, qname.namespace)
+            new_pre = self.add_node(
+                NodeKind(source.kind[pre]),
+                source.level[pre] - base_level + level_offset,
+                name_id=new_name_id,
+                value=source.value[pre],
+                frag=frag,
+                size=source.size[pre],
+            )
+            for attr_index in source.attributes_of(pre):
+                attr_name = source.names.name(source.attr_name[attr_index])
+                self.add_attribute(new_pre,
+                                   self.names.intern(attr_name.local, attr_name.namespace),
+                                   source.attr_value[attr_index])
+        return new_root
+
+
+class DocumentStore:
+    """The "loaded documents" table: all persistent and transient containers."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, DocumentContainer] = {}
+        self._order_counter = 0
+
+    def _next_order_key(self) -> int:
+        self._order_counter += 1
+        return self._order_counter
+
+    def new_container(self, name: str, *, transient: bool = False) -> DocumentContainer:
+        if not transient and name in self._documents:
+            raise DocumentError(f"document {name!r} already loaded")
+        container = DocumentContainer(name, self._next_order_key(), transient=transient)
+        if not transient:
+            self._documents[name] = container
+        return container
+
+    def register(self, container: DocumentContainer) -> None:
+        """Register an externally built (already shredded) container."""
+        if container.name in self._documents:
+            raise DocumentError(f"document {container.name!r} already loaded")
+        self._documents[container.name] = container
+
+    def get(self, name: str) -> DocumentContainer:
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise DocumentError(f"document {name!r} is not loaded") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._documents:
+            raise DocumentError(f"document {name!r} is not loaded")
+        del self._documents[name]
+
+    def names(self) -> list[str]:
+        return list(self._documents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    def loaded_documents_table(self) -> Table:
+        """The loaded-document table of Figure 9 as a relational Table."""
+        names = list(self._documents)
+        containers = [self._documents[name] for name in names]
+        columns = [
+            Column("doc", names),
+            Column("nodes", [container.node_count for container in containers]),
+            Column("height", [max(container.level) + 1 if container.level else 0
+                              for container in containers]),
+        ]
+        return Table(columns)

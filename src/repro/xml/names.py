@@ -1,0 +1,61 @@
+"""Qualified names and the per-container name pool.
+
+Element and attribute names are dictionary-encoded: every distinct
+``(namespace, local)`` pair is stored once in a :class:`NamePool` and nodes
+reference it by integer id.  This mirrors the "qualified names" property
+container of Figure 9 and gives the cheap integer name tests the staircase
+join's nametest pushdown relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QName:
+    """A qualified name: namespace URI (possibly empty) and local name."""
+
+    local: str
+    namespace: str = ""
+
+    def __str__(self) -> str:
+        if self.namespace:
+            return f"{{{self.namespace}}}{self.local}"
+        return self.local
+
+
+class NamePool:
+    """Interning pool assigning dense integer ids to qualified names."""
+
+    __slots__ = ("_names", "_ids")
+
+    def __init__(self) -> None:
+        self._names: list[QName] = []
+        self._ids: dict[QName, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def intern(self, local: str, namespace: str = "") -> int:
+        """Return the id of the name, adding it to the pool if necessary."""
+        qname = QName(local, namespace)
+        name_id = self._ids.get(qname)
+        if name_id is None:
+            name_id = len(self._names)
+            self._names.append(qname)
+            self._ids[qname] = name_id
+        return name_id
+
+    def lookup(self, local: str, namespace: str = "") -> int | None:
+        """Return the id of the name or ``None`` when it was never interned."""
+        return self._ids.get(QName(local, namespace))
+
+    def name(self, name_id: int) -> QName:
+        return self._names[name_id]
+
+    def local(self, name_id: int) -> str:
+        return self._names[name_id].local
+
+    def all_names(self) -> list[QName]:
+        return list(self._names)

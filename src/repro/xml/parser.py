@@ -1,0 +1,262 @@
+"""A small, dependency-free, event-based XML parser.
+
+The shredder only needs a forward pass of events (start element, end
+element, text, comment, processing instruction); this parser provides that
+for the well-formed XML the XMark generator and the test documents produce.
+It supports attributes, the five predefined entities, decimal/hex character
+references, CDATA sections, comments, processing instructions and an XML
+declaration / doctype line.  It intentionally does not implement DTD
+processing or external entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import XMLParseError
+
+
+@dataclass
+class StartElement:
+    name: str
+    attributes: list[tuple[str, str]]
+
+
+@dataclass
+class EndElement:
+    name: str
+
+
+@dataclass
+class Text:
+    content: str
+
+
+@dataclass
+class Comment:
+    content: str
+
+
+@dataclass
+class ProcessingInstruction:
+    target: str
+    content: str
+
+
+Event = StartElement | EndElement | Text | Comment | ProcessingInstruction
+
+
+_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def unescape(text: str) -> str:
+    """Resolve the predefined entities and character references in ``text``."""
+    if "&" not in text:
+        return text
+    pieces: list[str] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        ampersand = text.find("&", position)
+        if ampersand == -1:
+            pieces.append(text[position:])
+            break
+        pieces.append(text[position:ampersand])
+        semicolon = text.find(";", ampersand + 1)
+        if semicolon == -1:
+            raise XMLParseError("unterminated entity reference")
+        entity = text[ampersand + 1:semicolon]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            pieces.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            pieces.append(chr(int(entity[1:])))
+        elif entity in _ENTITIES:
+            pieces.append(_ENTITIES[entity])
+        else:
+            raise XMLParseError(f"unknown entity &{entity};")
+        position = semicolon + 1
+    return "".join(pieces)
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for serialization."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text: str) -> str:
+    """Escape an attribute value for serialization (double quotes)."""
+    return escape_text(text).replace('"', "&quot;")
+
+
+class XMLPullParser:
+    """Iterate parse events over an XML string."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._position = 0
+        self._length = len(text)
+        self._open: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    def events(self) -> Iterator[Event]:
+        """Yield parse events; raises :class:`XMLParseError` on malformed input."""
+        text = self._text
+        while self._position < self._length:
+            lt = text.find("<", self._position)
+            if lt == -1:
+                trailing = text[self._position:]
+                if trailing.strip():
+                    raise self._error("character data after document element")
+                break
+            if lt > self._position:
+                chunk = text[self._position:lt]
+                if self._open:
+                    yield Text(unescape(chunk))
+                elif chunk.strip():
+                    raise self._error("character data outside document element")
+            self._position = lt
+            if text.startswith("<!--", lt):
+                yield self._parse_comment()
+            elif text.startswith("<![CDATA[", lt):
+                yield self._parse_cdata()
+            elif text.startswith("<?", lt):
+                event = self._parse_pi()
+                if event is not None:
+                    yield event
+            elif text.startswith("<!", lt):
+                self._skip_doctype()
+            elif text.startswith("</", lt):
+                yield self._parse_end_tag()
+            else:
+                yield from self._parse_start_tag()
+        if self._open:
+            raise self._error(f"unclosed element <{self._open[-1]}>")
+
+    # ------------------------------------------------------------------ #
+    def _error(self, message: str) -> XMLParseError:
+        line = self._text.count("\n", 0, self._position) + 1
+        last_newline = self._text.rfind("\n", 0, self._position)
+        column = self._position - last_newline
+        return XMLParseError(message, line=line, column=column)
+
+    def _parse_comment(self) -> Comment:
+        end = self._text.find("-->", self._position + 4)
+        if end == -1:
+            raise self._error("unterminated comment")
+        content = self._text[self._position + 4:end]
+        self._position = end + 3
+        return Comment(content)
+
+    def _parse_cdata(self) -> Text:
+        end = self._text.find("]]>", self._position + 9)
+        if end == -1:
+            raise self._error("unterminated CDATA section")
+        content = self._text[self._position + 9:end]
+        self._position = end + 3
+        return Text(content)
+
+    def _parse_pi(self) -> ProcessingInstruction | None:
+        end = self._text.find("?>", self._position + 2)
+        if end == -1:
+            raise self._error("unterminated processing instruction")
+        body = self._text[self._position + 2:end]
+        self._position = end + 2
+        parts = body.split(None, 1)
+        target = parts[0] if parts else ""
+        content = parts[1] if len(parts) > 1 else ""
+        if target.lower() == "xml":
+            return None  # XML declaration, not reported as an event
+        return ProcessingInstruction(target, content)
+
+    def _skip_doctype(self) -> None:
+        # naive skip that tolerates an internal subset in brackets
+        depth = 0
+        position = self._position + 2
+        while position < self._length:
+            char = self._text[position]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth <= 0:
+                self._position = position + 1
+                return
+            position += 1
+        raise self._error("unterminated DOCTYPE declaration")
+
+    def _parse_end_tag(self) -> EndElement:
+        end = self._text.find(">", self._position + 2)
+        if end == -1:
+            raise self._error("unterminated end tag")
+        name = self._text[self._position + 2:end].strip()
+        self._position = end + 1
+        if not self._open or self._open[-1] != name:
+            expected = self._open[-1] if self._open else "(none)"
+            raise self._error(f"mismatched end tag </{name}>, expected </{expected}>")
+        self._open.pop()
+        return EndElement(name)
+
+    def _parse_start_tag(self) -> Iterator[Event]:
+        end = self._text.find(">", self._position)
+        if end == -1:
+            raise self._error("unterminated start tag")
+        raw = self._text[self._position + 1:end]
+        self._position = end + 1
+        self_closing = raw.endswith("/")
+        if self_closing:
+            raw = raw[:-1]
+        name, attributes = self._parse_tag_body(raw)
+        yield StartElement(name, attributes)
+        if self_closing:
+            yield EndElement(name)
+        else:
+            self._open.append(name)
+
+    def _parse_tag_body(self, raw: str) -> tuple[str, list[tuple[str, str]]]:
+        raw = raw.strip()
+        if not raw:
+            raise self._error("empty start tag")
+        # element name runs until the first whitespace character
+        name_end = len(raw)
+        for index, char in enumerate(raw):
+            if char.isspace():
+                name_end = index
+                break
+        name = raw[:name_end]
+        attributes: list[tuple[str, str]] = []
+        position = name_end
+        length = len(raw)
+        while position < length:
+            while position < length and raw[position].isspace():
+                position += 1
+            if position >= length:
+                break
+            equals = raw.find("=", position)
+            if equals == -1:
+                raise self._error(f"attribute without value in <{name}>")
+            attr_name = raw[position:equals].strip()
+            position = equals + 1
+            while position < length and raw[position].isspace():
+                position += 1
+            if position >= length or raw[position] not in "\"'":
+                raise self._error(f"unquoted attribute value in <{name}>")
+            quote = raw[position]
+            closing = raw.find(quote, position + 1)
+            if closing == -1:
+                raise self._error(f"unterminated attribute value in <{name}>")
+            value = unescape(raw[position + 1:closing])
+            attributes.append((attr_name, value))
+            position = closing + 1
+        return name, attributes
+
+
+def parse_events(text: str) -> Iterator[Event]:
+    """Convenience wrapper: iterate the events of an XML string."""
+    return XMLPullParser(text).events()

@@ -1,0 +1,18 @@
+"""Pathfinder-style XQuery front-end: parser, loop-lifting compiler, engine."""
+
+from .ast import Module
+from .compiler import LoopLiftingCompiler
+from .engine import EngineOptions, MonetXQuery, QueryResult
+from .parser import parse, parse_expression
+from .updates import XMLUpdater
+
+__all__ = [
+    "EngineOptions",
+    "LoopLiftingCompiler",
+    "Module",
+    "MonetXQuery",
+    "QueryResult",
+    "XMLUpdater",
+    "parse",
+    "parse_expression",
+]

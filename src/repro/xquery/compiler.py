@@ -1,0 +1,784 @@
+"""The loop-lifting XQuery-to-relational compiler (Pathfinder, Section 2.1).
+
+Every expression is compiled *with respect to its enclosing ``for``-loops*,
+represented by a unary ``loop`` relation; its value is an ``iter|pos|item``
+table.  Because MonetDB executes its physical algebra (MIL) eagerly,
+operator-at-a-time, the compiler here emits **and executes** the relational
+operators as it walks the AST — the materialised intermediates carry the
+column properties that drive physical algorithm choice (Section 4.1).
+
+The compiler implements:
+
+* loop-lifting of constants, variables and FLWOR expressions (scope maps,
+  back-mapping, ``order by`` via per-tuple rank keys),
+* conditionals via loop splitting (Figure 5),
+* general comparisons with existential semantics (Section 4.2),
+* XPath location steps through the loop-lifted staircase join with optional
+  nametest pushdown (Section 3), including positional and boolean
+  predicates via nested iteration scopes,
+* **join recognition** (Section 4.1, ``indep`` property): a ``for`` clause
+  whose binding sequence is loop-invariant and that is paired with a
+  comparison in the ``where`` clause is evaluated as a value-based
+  theta-join with existential semantics instead of a lifted Cartesian
+  product — the rewrite that makes XMark Q8–Q12 scale linearly,
+* element/text constructors into the transient document container,
+* the built-in function library and non-recursive user-defined functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..errors import (XQueryRuntimeError, XQueryTypeError,
+                      XQueryUnsupportedError)
+from ..relational import operators as ops
+from ..relational.column import Column
+from ..relational.properties import TableProps
+from ..relational.sorting import sort
+from ..relational.table import Table
+from ..staircase.axes import Axis
+from ..staircase.iterative import StaircaseStats
+from ..xml.document import NodeRef
+from . import ast, functions
+from .constructors import construct_element, construct_text
+from .joins import existential_compare, existential_join, flip_comparison
+from .sequences import (back_map, empty_sequence, ensure_sequence_order,
+                        for_binding, from_iter_items, items_by_iteration,
+                        lift_constant, lift_environment, lift_items,
+                        make_loop, restrict_loop, restrict_sequence,
+                        sequence_items, singleton_per_iter, unit_loop)
+from .steps import StepOptions, axis_step, node_test_from_ast
+from .types import (atomize, effective_boolean_value, to_number, to_string)
+
+
+class LoopLiftingCompiler:
+    """Compiles-and-evaluates a parsed query against an engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.options = engine.options
+        self.user_functions: dict[str, ast.FunctionDecl] = {}
+        self.global_items: dict[str, list[Any]] = {}
+        self.step_stats = StaircaseStats()
+        self._call_stack: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+    def run(self, module: ast.Module, context_item: Any | None = None) -> list[Any]:
+        """Evaluate a parsed module; returns the result item sequence."""
+        self.user_functions = dict(module.functions)
+        loop = unit_loop()
+        env: dict[str, Table] = {}
+        if context_item is not None:
+            env["."] = lift_constant(loop, context_item)
+        for declaration in module.variables:
+            table = self.compile(declaration.value, loop, env)
+            self.global_items[declaration.name] = sequence_items(table, 1)
+        result = self.compile(module.body, loop, env)
+        result = ensure_sequence_order(
+            result, use_properties=self.options.order_optimization)
+        return sequence_items(result, 1)
+
+    @property
+    def step_options(self) -> StepOptions:
+        return StepOptions(
+            loop_lifted_child=self.options.loop_lifted_child,
+            loop_lifted_descendant=self.options.loop_lifted_descendant,
+            loop_lifted_other=self.options.loop_lifted_other,
+            nametest_pushdown=self.options.nametest_pushdown,
+        )
+
+    # ------------------------------------------------------------------ #
+    # dispatcher
+    # ------------------------------------------------------------------ #
+    def compile(self, node: ast.Expr, loop: Table, env: dict[str, Table]) -> Table:
+        method = getattr(self, f"_compile_{type(node).__name__}", None)
+        if method is None:
+            raise XQueryUnsupportedError(
+                f"unsupported expression {type(node).__name__}")
+        return method(node, loop, env)
+
+    # -- literals, variables, sequences ------------------------------------- #
+    def _compile_Literal(self, node: ast.Literal, loop, env) -> Table:
+        return lift_constant(loop, node.value)
+
+    def _compile_EmptySequence(self, node, loop, env) -> Table:
+        return empty_sequence()
+
+    def _compile_VarRef(self, node: ast.VarRef, loop, env) -> Table:
+        if node.name in env:
+            return env[node.name]
+        if node.name in self.global_items:
+            return lift_items(loop, self.global_items[node.name])
+        raise XQueryRuntimeError(f"unbound variable ${node.name}")
+
+    def _compile_ContextItem(self, node, loop, env) -> Table:
+        if "." not in env:
+            raise XQueryRuntimeError("the context item is undefined here")
+        return env["."]
+
+    def _compile_SequenceExpr(self, node: ast.SequenceExpr, loop, env) -> Table:
+        parts = [self.compile(item, loop, env) for item in node.items]
+        return self._concatenate(parts)
+
+    def _concatenate(self, parts: list[Table]) -> Table:
+        branches = []
+        for index, part in enumerate(parts):
+            if part.row_count == 0:
+                continue
+            branches.append(ops.attach(part, "branch", index))
+        if not branches:
+            return empty_sequence()
+        merged = ops.union_all(branches)
+        merged = sort(merged, ("iter", "branch", "pos"),
+                      use_properties=self.options.order_optimization)
+        merged = ops.rownum(merged, "new_pos", ("branch", "pos"),
+                            partition="iter",
+                            use_properties=self.options.order_optimization)
+        result = ops.project(merged, {"iter": "iter", "pos": "new_pos",
+                                      "item": "item"})
+        result.props.order = ("iter", "pos")
+        return result
+
+    def _compile_RangeExpr(self, node: ast.RangeExpr, loop, env) -> Table:
+        start = self._singleton_values(self.compile(node.start, loop, env))
+        end = self._singleton_values(self.compile(node.end, loop, env))
+        pairs: list[tuple[int, Any]] = []
+        for iteration in loop.col("iter"):
+            low = to_number(start.get(iteration))
+            high = to_number(end.get(iteration))
+            if low is None or high is None:
+                continue
+            for value in range(int(low), int(high) + 1):
+                pairs.append((iteration, value))
+        return from_iter_items(pairs)
+
+    # -- arithmetic, comparisons, logic -------------------------------------- #
+    def _singleton_values(self, table: Table) -> dict[int, Any]:
+        values: dict[int, Any] = {}
+        for iteration, item in zip(table.col("iter"), table.col("item")):
+            values.setdefault(iteration, item)
+        return values
+
+    def _compile_ArithmeticExpr(self, node: ast.ArithmeticExpr, loop, env) -> Table:
+        left = self._singleton_values(self.compile(node.left, loop, env))
+        right = self._singleton_values(self.compile(node.right, loop, env))
+        values: dict[int, Any] = {}
+        for iteration in loop.col("iter"):
+            if iteration not in left or iteration not in right:
+                continue
+            result = ops.arithmetic(node.op, atomize(left[iteration]),
+                                    atomize(right[iteration]))
+            if result is not None:
+                values[iteration] = result
+        return singleton_per_iter(loop, values)
+
+    def _compile_UnaryExpr(self, node: ast.UnaryExpr, loop, env) -> Table:
+        operand = self._singleton_values(self.compile(node.operand, loop, env))
+        values: dict[int, Any] = {}
+        for iteration in loop.col("iter"):
+            if iteration not in operand:
+                continue
+            number = to_number(operand[iteration])
+            if number is None:
+                continue
+            values[iteration] = -number if node.negate else number
+        return singleton_per_iter(loop, values)
+
+    def _compile_ValueComparison(self, node: ast.ValueComparison, loop, env) -> Table:
+        left = self._singleton_values(self.compile(node.left, loop, env))
+        right = self._singleton_values(self.compile(node.right, loop, env))
+        values: dict[int, Any] = {}
+        for iteration in loop.col("iter"):
+            if iteration not in left or iteration not in right:
+                continue
+            values[iteration] = ops.compare_values(
+                node.op, atomize(left[iteration]), atomize(right[iteration]))
+        return singleton_per_iter(loop, values)
+
+    def _compile_GeneralComparison(self, node: ast.GeneralComparison, loop, env) -> Table:
+        left = items_by_iteration(self.compile(node.left, loop, env))
+        right = items_by_iteration(self.compile(node.right, loop, env))
+        strategy = "auto" if self.options.existential_aggregates else "dedup"
+        true_iterations = existential_compare(left, right, node.op,
+                                              strategy=strategy)
+        values = {iteration: iteration in true_iterations
+                  for iteration in loop.col("iter")}
+        return singleton_per_iter(loop, values)
+
+    def _ebv_by_iteration(self, node: ast.Expr, loop, env) -> dict[int, bool]:
+        table = self.compile(node, loop, env)
+        grouped = items_by_iteration(table)
+        return {iteration: effective_boolean_value(grouped.get(iteration, []))
+                for iteration in loop.col("iter")}
+
+    def _compile_AndExpr(self, node: ast.AndExpr, loop, env) -> Table:
+        verdict = {iteration: True for iteration in loop.col("iter")}
+        for operand in node.operands:
+            partial = self._ebv_by_iteration(operand, loop, env)
+            for iteration in verdict:
+                verdict[iteration] = verdict[iteration] and partial.get(iteration, False)
+        return singleton_per_iter(loop, verdict)
+
+    def _compile_OrExpr(self, node: ast.OrExpr, loop, env) -> Table:
+        verdict = {iteration: False for iteration in loop.col("iter")}
+        for operand in node.operands:
+            partial = self._ebv_by_iteration(operand, loop, env)
+            for iteration in verdict:
+                verdict[iteration] = verdict[iteration] or partial.get(iteration, False)
+        return singleton_per_iter(loop, verdict)
+
+    # -- conditionals --------------------------------------------------------- #
+    def _compile_IfExpr(self, node: ast.IfExpr, loop, env) -> Table:
+        verdict = self._ebv_by_iteration(node.condition, loop, env)
+        then_iters = [it for it in loop.col("iter") if verdict.get(it, False)]
+        else_iters = [it for it in loop.col("iter") if not verdict.get(it, False)]
+
+        parts: list[Table] = []
+        if then_iters:
+            then_loop = make_loop(then_iters)
+            then_env = {name: restrict_sequence(table, then_iters)
+                        for name, table in env.items()}
+            parts.append(self.compile(node.then_branch, then_loop, then_env))
+        if else_iters:
+            else_loop = make_loop(else_iters)
+            else_env = {name: restrict_sequence(table, else_iters)
+                        for name, table in env.items()}
+            parts.append(self.compile(node.else_branch, else_loop, else_env))
+        parts = [part for part in parts if part.row_count]
+        if not parts:
+            return empty_sequence()
+        merged = ops.union_all(parts)
+        merged = sort(merged, ("iter", "pos"),
+                      use_properties=self.options.order_optimization)
+        return merged
+
+    # -- FLWOR ----------------------------------------------------------------- #
+    def _compile_FLWORExpr(self, node: ast.FLWORExpr, loop, env) -> Table:
+        current_loop = loop
+        current_env = dict(env)
+        tuple_map: Table | None = None           # outer -> inner, composed
+        where = node.where
+        consumed_where = False
+
+        for clause in node.clauses:
+            if isinstance(clause, ast.LetClause):
+                current_env[clause.variable] = self.compile(
+                    clause.value, current_loop, current_env)
+                continue
+            if not isinstance(clause, ast.ForClause):   # pragma: no cover
+                raise XQueryUnsupportedError("unsupported FLWOR clause")
+
+            join_plan = None
+            if (self.options.join_recognition and where is not None
+                    and not consumed_where):
+                join_plan = self._recognize_join(clause, where, current_loop,
+                                                 current_env)
+            if join_plan is not None:
+                scope_map, inner_loop, bindings, remaining_where = join_plan
+                current_env = lift_environment(current_env, scope_map)
+                current_env.update(bindings)
+                tuple_map = self._compose_maps(tuple_map, scope_map)
+                current_loop = inner_loop
+                where = remaining_where
+                consumed_where = True
+                continue
+
+            sequence = self.compile(clause.sequence, current_loop, current_env)
+            scope_map, inner_loop, variable, positions = for_binding(
+                sequence, use_properties=self.options.order_optimization)
+            current_env = lift_environment(current_env, scope_map)
+            current_env[clause.variable] = variable
+            if clause.position_variable:
+                current_env[clause.position_variable] = positions
+            tuple_map = self._compose_maps(tuple_map, scope_map)
+            current_loop = inner_loop
+
+        if where is not None:
+            verdict = self._ebv_by_iteration(where, current_loop, current_env)
+            surviving = [it for it in current_loop.col("iter")
+                         if verdict.get(it, False)]
+            current_loop = make_loop(surviving)
+            current_env = {name: restrict_sequence(table, surviving)
+                           for name, table in current_env.items()}
+
+        order_keys = None
+        if node.order_by:
+            order_keys = self._order_by_ranks(node.order_by, current_loop,
+                                              current_env)
+
+        body = self.compile(node.return_expr, current_loop, current_env)
+
+        if tuple_map is None:
+            if order_keys is not None:
+                raise XQueryUnsupportedError(
+                    "order by requires at least one for clause")
+            return body
+        return back_map(tuple_map, body, order_keys=order_keys,
+                        use_properties=self.options.order_optimization)
+
+    def _compose_maps(self, outer_map: Table | None, inner_map: Table) -> Table:
+        """Compose two scope maps: (outer->mid) ∘ (mid->inner) = outer->inner."""
+        if outer_map is None:
+            return inner_map
+        renamed = ops.project(outer_map, {"outermost": "outer", "mid": "inner"})
+        joined = ops.join(inner_map, renamed, "outer", "mid",
+                          use_positional=self.options.positional_lookup)
+        composed = ops.project(joined, {"outer": "outermost", "inner": "inner"})
+        composed.props.order = ("outer", "inner")
+        return composed
+
+    def _order_by_ranks(self, specs: list[ast.OrderSpec], loop, env) -> Table:
+        """One rank value per iteration implementing the ``order by`` keys."""
+        keys_per_spec = []
+        for spec in specs:
+            table = self.compile(spec.key, loop, env)
+            keys_per_spec.append((self._singleton_values(table), spec.descending))
+        iterations = list(loop.col("iter"))
+
+        def sort_key(iteration: int):
+            composite = []
+            for values, descending in keys_per_spec:
+                value = values.get(iteration)
+                value = atomize(value) if value is not None else None
+                number = to_number(value) if value is not None else None
+                if number is not None:
+                    missing = 1 if value is None else 0
+                    composite.append((missing, -number if descending else number, ""))
+                else:
+                    text = to_string(value) if value is not None else ""
+                    missing = 1 if value is None else 0
+                    composite.append((missing, 0, text))
+            return composite
+
+        # stable two-phase sort: strings cannot be negated, so descending
+        # string keys are handled by sorting each spec separately (last spec
+        # first) with Python's stable sort
+        ordered = list(iterations)
+        for index in range(len(keys_per_spec) - 1, -1, -1):
+            values, descending = keys_per_spec[index]
+
+            def spec_key(iteration: int, values=values):
+                value = values.get(iteration)
+                value = atomize(value) if value is not None else None
+                number = to_number(value) if value is not None else None
+                if number is not None:
+                    return (0, number, "")
+                if value is None:
+                    return (1, 0, "")
+                return (0, float("inf"), to_string(value))
+
+            ordered.sort(key=spec_key, reverse=descending)
+        ranks = {iteration: rank for rank, iteration in enumerate(ordered, start=1)}
+        return Table([
+            Column("iter", iterations),
+            Column("okey", [ranks[iteration] for iteration in iterations]),
+        ], props=TableProps(order=("iter",)))
+
+    # -- join recognition (Section 4.1 indep / Section 4.2) -------------------- #
+    def _recognize_join(self, clause: ast.ForClause, where: ast.Expr,
+                        current_loop: Table, env: dict[str, Table]):
+        """Try to evaluate ``for $v in <loop-invariant seq> ... where lhs ⊖ rhs``
+        as a value join; returns ``None`` when the pattern does not apply."""
+        free = clause.sequence.free_variables()
+        loop_variables = set(env) - {"."}
+        if free & loop_variables:
+            return None
+        if clause.position_variable is not None:
+            return None
+
+        # the binding sequence may still use absolute paths (the context
+        # item); independence only holds when every iteration sees the same
+        # context document root
+        constant_context = None
+        if "." in env:
+            roots = {(id(item.container), item.container.root_pre(item.pre))
+                     for item in env["."].col("item")
+                     if isinstance(item, NodeRef)}
+            if len(roots) > 1:
+                return None
+            for item in env["."].col("item"):
+                if isinstance(item, NodeRef):
+                    constant_context = NodeRef(item.container,
+                                               item.container.root_pre(item.pre))
+                    break
+
+        conjuncts = self._where_conjuncts(where)
+        variable = clause.variable
+        chosen_index = None
+        v_side = other_side = None
+        op = None
+        for index, conjunct in enumerate(conjuncts):
+            if not isinstance(conjunct, ast.GeneralComparison):
+                continue
+            left_free = conjunct.left.free_variables()
+            right_free = conjunct.right.free_variables()
+            bound_before = set(env) | {"."}
+            if (variable in left_free and variable not in right_free
+                    and left_free - {variable} <= set(self.global_items)
+                    and right_free <= bound_before | set(self.global_items)):
+                chosen_index = index
+                v_side, other_side, op = conjunct.left, conjunct.right, \
+                    flip_comparison(conjunct.op)
+                break
+            if (variable in right_free and variable not in left_free
+                    and right_free - {variable} <= set(self.global_items)
+                    and left_free <= bound_before | set(self.global_items)):
+                chosen_index = index
+                v_side, other_side, op = conjunct.right, conjunct.left, conjunct.op
+                break
+        if chosen_index is None:
+            return None
+
+        # 1. evaluate the loop-invariant binding sequence once
+        base_loop = unit_loop()
+        base_env: dict[str, Table] = {}
+        if constant_context is not None:
+            base_env["."] = lift_constant(base_loop, constant_context)
+        sequence = self.compile(clause.sequence, base_loop, base_env)
+        items = sequence_items(sequence, 1)
+        if not items:
+            # no binding items: the FLWOR contributes nothing for any outer
+            # iteration — an empty scope map expresses exactly that
+            empty_map = Table.from_dict({"outer": [], "inner": []},
+                                        order=("outer", "inner"))
+            bindings = {clause.variable: empty_sequence()}
+            return empty_map, make_loop([]), bindings, \
+                self._strip_conjunct(where, conjuncts, chosen_index)
+
+        # 2. the side of the comparison that depends on $v, per binding item
+        item_loop = make_loop(list(range(1, len(items) + 1)))
+        item_env = {clause.variable: Table([
+            Column("iter", list(range(1, len(items) + 1)), infer=True),
+            Column.constant("pos", 1, len(items)),
+            Column("item", list(items)),
+        ], props=TableProps(order=("iter", "pos")))}
+        if constant_context is not None:
+            item_env["."] = lift_constant(item_loop, constant_context)
+        v_values_table = self.compile(v_side, item_loop, item_env)
+        v_rows = [(iteration, atomize(item))
+                  for iteration, item in zip(v_values_table.col("iter"),
+                                             v_values_table.col("item"))]
+
+        # 3. the other side, per enclosing-loop iteration
+        other_table = self.compile(other_side, current_loop, env)
+        other_rows = [(iteration, atomize(item))
+                      for iteration, item in zip(other_table.col("iter"),
+                                                 other_table.col("item"))]
+
+        # 4. existential theta-join: distinct (outer iteration, item index)
+        strategy = "auto" if self.options.existential_aggregates else "dedup"
+        pairs = existential_join(other_rows, v_rows, op, strategy=strategy)
+
+        # 5. build the scope map / inner loop / $v binding for the survivors
+        pairs.sort()
+        outer_column = [pair[0] for pair in pairs]
+        inner_column = list(range(1, len(pairs) + 1))
+        scope_map = Table([
+            Column("outer", outer_column),
+            Column("inner", inner_column, infer=True),
+        ], props=TableProps(order=("outer", "inner")))
+        inner_loop = make_loop(inner_column)
+        bound_items = [items[pair[1] - 1] for pair in pairs]
+        bindings = {clause.variable: Table([
+            Column("iter", inner_column, infer=True),
+            Column.constant("pos", 1, len(pairs)),
+            Column("item", bound_items),
+        ], props=TableProps(order=("iter", "pos")))}
+
+        remaining = self._strip_conjunct(where, conjuncts, chosen_index)
+        return scope_map, inner_loop, bindings, remaining
+
+    @staticmethod
+    def _where_conjuncts(where: ast.Expr) -> list[ast.Expr]:
+        if isinstance(where, ast.AndExpr):
+            return list(where.operands)
+        return [where]
+
+    @staticmethod
+    def _strip_conjunct(where: ast.Expr, conjuncts: list[ast.Expr],
+                        index: int) -> ast.Expr | None:
+        remaining = [conjunct for position, conjunct in enumerate(conjuncts)
+                     if position != index]
+        if not remaining:
+            return None
+        if len(remaining) == 1:
+            return remaining[0]
+        return ast.AndExpr(remaining)
+
+    # -- quantified expressions ------------------------------------------------ #
+    def _compile_QuantifiedExpr(self, node: ast.QuantifiedExpr, loop, env) -> Table:
+        current_loop = loop
+        current_env = dict(env)
+        tuple_map: Table | None = None
+        for variable, sequence_expr in node.bindings:
+            sequence = self.compile(sequence_expr, current_loop, current_env)
+            scope_map, inner_loop, bound, _ = for_binding(
+                sequence, use_properties=self.options.order_optimization)
+            current_env = lift_environment(current_env, scope_map)
+            current_env[variable] = bound
+            tuple_map = self._compose_maps(tuple_map, scope_map)
+            current_loop = inner_loop
+
+        verdict = self._ebv_by_iteration(node.satisfies, current_loop, current_env)
+        per_outer: dict[int, list[bool]] = {}
+        if tuple_map is None:                           # no bindings: degenerate
+            per_outer = {iteration: [] for iteration in loop.col("iter")}
+        else:
+            for outer, inner in zip(tuple_map.col("outer"), tuple_map.col("inner")):
+                per_outer.setdefault(outer, []).append(verdict.get(inner, False))
+        values: dict[int, bool] = {}
+        for iteration in loop.col("iter"):
+            outcomes = per_outer.get(iteration, [])
+            if node.quantifier == "some":
+                values[iteration] = any(outcomes)
+            else:
+                values[iteration] = all(outcomes)
+        return singleton_per_iter(loop, values)
+
+    # -- paths ------------------------------------------------------------------ #
+    def _compile_PathExpr(self, node: ast.PathExpr, loop, env) -> Table:
+        if node.absolute:
+            current = self._context_roots(loop, env)
+        elif node.start is not None:
+            current = self.compile(node.start, loop, env)
+        else:
+            current = self._compile_ContextItem(ast.ContextItem(), loop, env)
+        for step in node.steps:
+            if isinstance(step, ast.AxisStep):
+                current = self._compile_axis_step(step, current, loop, env)
+            else:
+                raise XQueryUnsupportedError(
+                    "only axis steps are supported inside a path")
+        return current
+
+    def _context_roots(self, loop, env) -> Table:
+        if "." not in env:
+            raise XQueryRuntimeError(
+                "absolute path used without a context document")
+        context = env["."]
+        values: dict[int, Any] = {}
+        for iteration, item in zip(context.col("iter"), context.col("item")):
+            if not isinstance(item, NodeRef):
+                raise XQueryTypeError("the context item is not a node")
+            values.setdefault(
+                iteration, NodeRef(item.container,
+                                   item.container.root_pre(item.pre)))
+        return singleton_per_iter(loop, values)
+
+    def _compile_axis_step(self, step: ast.AxisStep, context: Table, loop, env) -> Table:
+        node_test = node_test_from_ast(step.node_test)
+        if not step.predicates:
+            return axis_step(context, step.axis, node_test,
+                             options=self.step_options, stats=self.step_stats)
+        # predicates need positions relative to each context node: open a
+        # nested iteration scope with one iteration per context node
+        scope_map, sub_loop, dot, _ = for_binding(
+            context, use_properties=self.options.order_optimization)
+        produced = axis_step(dot, step.axis, node_test,
+                             options=self.step_options, stats=self.step_stats)
+        sub_env = lift_environment(env, scope_map)
+        sub_env["."] = dot
+        filtered = self._apply_predicates(produced, step.predicates, sub_loop,
+                                          sub_env)
+        merged = back_map(scope_map, filtered,
+                          use_properties=self.options.order_optimization)
+        return self._nodes_in_document_order(merged)
+
+    def _compile_FilterExpr(self, node: ast.FilterExpr, loop, env) -> Table:
+        base = self.compile(node.base, loop, env)
+        return self._apply_predicates(base, node.predicates, loop, env)
+
+    def _nodes_in_document_order(self, table: Table) -> Table:
+        rows = sorted(
+            zip(table.col("iter"), table.col("item")),
+            key=lambda pair: (pair[0], pair[1].order_key()
+                              if isinstance(pair[1], NodeRef) else (0, 0, 0, 0)))
+        deduped: list[tuple[int, Any]] = []
+        previous = None
+        for pair in rows:
+            if previous is not None and pair == previous:
+                continue
+            deduped.append(pair)
+            previous = pair
+        return from_iter_items(deduped)
+
+    def _apply_predicates(self, sequence: Table, predicates: list[ast.Expr],
+                          loop, env) -> Table:
+        current = sequence
+        for predicate in predicates:
+            current = self._apply_one_predicate(current, predicate, loop, env)
+        return current
+
+    def _apply_one_predicate(self, sequence: Table, predicate: ast.Expr,
+                             loop, env) -> Table:
+        if sequence.row_count == 0:
+            return sequence
+        positions = sequence.col("pos")
+        iterations = sequence.col("iter")
+
+        # fast paths: positional literal and last()
+        if isinstance(predicate, ast.Literal) and isinstance(predicate.value, int) \
+                and not isinstance(predicate.value, bool):
+            keep = [index for index, position in enumerate(positions)
+                    if position == predicate.value]
+            return self._rebuild_filtered(sequence, keep)
+        if isinstance(predicate, ast.FunctionCall) and predicate.name == "last" \
+                and not predicate.arguments:
+            last_by_iter: dict[int, int] = {}
+            for iteration, position in zip(iterations, positions):
+                last_by_iter[iteration] = max(last_by_iter.get(iteration, 0), position)
+            keep = [index for index, (iteration, position)
+                    in enumerate(zip(iterations, positions))
+                    if position == last_by_iter[iteration]]
+            return self._rebuild_filtered(sequence, keep)
+
+        # general case: a nested iteration scope with one iteration per item
+        scope_map, sub_loop, dot, _ = for_binding(
+            sequence, use_properties=self.options.order_optimization)
+        counts: dict[int, int] = {}
+        for iteration in iterations:
+            counts[iteration] = counts.get(iteration, 0) + 1
+        sub_env = lift_environment(env, scope_map)
+        sub_env["."] = dot
+        sub_env["fs:position"] = Table([
+            Column("iter", list(sub_loop.col("iter")), infer=True),
+            Column.constant("pos", 1, sequence.row_count),
+            Column("item", list(positions)),
+        ], props=TableProps(order=("iter", "pos")))
+        sub_env["fs:last"] = Table([
+            Column("iter", list(sub_loop.col("iter")), infer=True),
+            Column.constant("pos", 1, sequence.row_count),
+            Column("item", [counts[iteration] for iteration in iterations]),
+        ], props=TableProps(order=("iter", "pos")))
+
+        verdict_table = self.compile(predicate, sub_loop, sub_env)
+        grouped = items_by_iteration(verdict_table)
+        keep: list[int] = []
+        for index, inner in enumerate(sub_loop.col("iter")):
+            outcome = grouped.get(inner, [])
+            if not outcome:
+                continue
+            first = outcome[0]
+            if isinstance(first, (int, float)) and not isinstance(first, bool) \
+                    and len(outcome) == 1:
+                if first == positions[index]:
+                    keep.append(index)
+            elif effective_boolean_value(outcome):
+                keep.append(index)
+        return self._rebuild_filtered(sequence, keep)
+
+    def _rebuild_filtered(self, sequence: Table, keep: list[int]) -> Table:
+        kept = sequence.take(keep, keep_order=True)
+        pairs = list(zip(kept.col("iter"), kept.col("item")))
+        return from_iter_items(pairs)
+
+    # -- node tests as steps are handled through steps.py ----------------------- #
+
+    # -- functions --------------------------------------------------------------- #
+    def _compile_FunctionCall(self, node: ast.FunctionCall, loop, env) -> Table:
+        name = node.name
+        if name.startswith("fn:"):
+            name = name[3:]
+        if name == "position" and not node.arguments:
+            if "fs:position" not in env:
+                raise XQueryRuntimeError("position() used outside a predicate")
+            return env["fs:position"]
+        if name == "last" and not node.arguments:
+            if "fs:last" not in env:
+                raise XQueryRuntimeError("last() used outside a predicate")
+            return env["fs:last"]
+
+        if node.name in self.user_functions or name in self.user_functions:
+            declaration = self.user_functions.get(node.name) \
+                or self.user_functions[name]
+            return self._call_user_function(declaration, node, loop, env)
+
+        if name in ("string", "data", "number", "name", "local-name") \
+                and not node.arguments:
+            node = ast.FunctionCall(name, [ast.ContextItem()])
+        implementation = functions.lookup(name)
+        arguments = [self.compile(argument, loop, env)
+                     for argument in node.arguments]
+        return implementation(self, loop, arguments)
+
+    def _call_user_function(self, declaration: ast.FunctionDecl,
+                            node: ast.FunctionCall, loop, env) -> Table:
+        if declaration.name in self._call_stack:
+            raise XQueryUnsupportedError(
+                f"recursive user function {declaration.name}() is not supported "
+                "by the eager loop-lifting evaluator")
+        if len(node.arguments) != len(declaration.parameters):
+            raise XQueryTypeError(
+                f"{declaration.name}() expects {len(declaration.parameters)} "
+                f"arguments, got {len(node.arguments)}")
+        call_env: dict[str, Table] = {}
+        for parameter, argument in zip(declaration.parameters, node.arguments):
+            call_env[parameter] = self.compile(argument, loop, env)
+        self._call_stack.append(declaration.name)
+        try:
+            return self.compile(declaration.body, loop, call_env)
+        finally:
+            self._call_stack.pop()
+
+    # -- constructors -------------------------------------------------------------- #
+    def _compile_ElementConstructor(self, node: ast.ElementConstructor, loop, env) -> Table:
+        container = self.engine.transient
+        attribute_values: list[tuple[str, dict[int, str]]] = []
+        for attribute_name, template in node.attributes:
+            attribute_values.append(
+                (attribute_name, self._evaluate_value_template(template, loop, env)))
+
+        content_parts: list[tuple[str, Any]] = []
+        for part in node.content:
+            if isinstance(part, str):
+                content_parts.append(("text", part))
+            else:
+                content_parts.append(("expr", items_by_iteration(
+                    self.compile(part, loop, env))))
+
+        values: dict[int, Any] = {}
+        for iteration in loop.col("iter"):
+            attributes = [(name, per_iter.get(iteration, ""))
+                          for name, per_iter in attribute_values]
+            content: list[Any] = []
+            for kind, payload in content_parts:
+                if kind == "text":
+                    content.append(payload)
+                else:
+                    content.extend(payload.get(iteration, []))
+            values[iteration] = construct_element(container, node.name,
+                                                  attributes, content)
+        return singleton_per_iter(loop, values)
+
+    def _evaluate_value_template(self, template: ast.AttributeValue, loop, env
+                                 ) -> dict[int, str]:
+        pieces: list[tuple[str, Any]] = []
+        for part in template.parts:
+            if isinstance(part, str):
+                pieces.append(("text", part))
+            else:
+                pieces.append(("expr", items_by_iteration(
+                    self.compile(part, loop, env))))
+        values: dict[int, str] = {}
+        for iteration in loop.col("iter"):
+            rendered: list[str] = []
+            for kind, payload in pieces:
+                if kind == "text":
+                    rendered.append(payload)
+                else:
+                    rendered.append(" ".join(to_string(item)
+                                             for item in payload.get(iteration, [])))
+            values[iteration] = "".join(rendered)
+        return values
+
+    def _compile_TextConstructor(self, node: ast.TextConstructor, loop, env) -> Table:
+        grouped = items_by_iteration(self.compile(node.content, loop, env))
+        container = self.engine.transient
+        values: dict[int, Any] = {}
+        for iteration in loop.col("iter"):
+            items = grouped.get(iteration, [])
+            text = " ".join(to_string(item) for item in items)
+            values[iteration] = construct_text(container, text)
+        return singleton_per_iter(loop, values)

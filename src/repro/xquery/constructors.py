@@ -1,0 +1,74 @@
+"""Node construction into the transient document container (Section 5.1).
+
+XQuery element constructors create new nodes.  In the relational encoding a
+constructed element is appended to the query's *transient* document
+container: the structural part of copied content subtrees is pasted verbatim
+(shifted pre ranks, preserved sizes), atomic content becomes text nodes, and
+each constructed tree receives a fresh ``frag`` id so disjoint fragments stay
+apart.  The returned node surrogate points into the transient container.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import XQueryRuntimeError
+from ..xml.document import DocumentContainer, NodeKind, NodeRef
+from .types import to_string
+
+
+def construct_text(container: DocumentContainer, content: str) -> NodeRef:
+    """Create a standalone text node in the transient container."""
+    pre = container.add_node(NodeKind.TEXT, 0, value=content)
+    container.frag[pre] = pre
+    return NodeRef(container, pre)
+
+
+def construct_element(container: DocumentContainer, name: str,
+                      attributes: Sequence[tuple[str, str]],
+                      content: Sequence[Any]) -> NodeRef:
+    """Create an element node with the given attributes and content sequence.
+
+    ``content`` items are either node surrogates (their subtrees are copied
+    into the new element — attribute nodes become attributes of the new
+    element) or atomic values (adjacent atomics merge into one text node,
+    separated by a single space, per the XQuery constructor rules).
+    """
+    root = container.add_node(NodeKind.ELEMENT, 0,
+                              name_id=container.names.intern(name))
+    container.frag[root] = root
+    for attribute_name, attribute_value in attributes:
+        container.add_attribute(root, container.names.intern(attribute_name),
+                                attribute_value)
+
+    pending_atomics: list[str] = []
+
+    def flush_atomics() -> None:
+        if not pending_atomics:
+            return
+        text = " ".join(pending_atomics)
+        pending_atomics.clear()
+        pre = container.add_node(NodeKind.TEXT, 1, value=text, frag=root)
+
+    for item in content:
+        if isinstance(item, NodeRef):
+            if item.attr is not None:
+                container.add_attribute(
+                    root,
+                    container.names.intern(item.name() or "attr"),
+                    item.string_value())
+                continue
+            flush_atomics()
+            source = item.container
+            if source.kind[item.pre] == NodeKind.DOCUMENT:
+                # copying a document node copies its children
+                for child in source.children_pre(item.pre):
+                    container.copy_subtree_from(source, child, 1, root)
+            else:
+                container.copy_subtree_from(source, item.pre, 1, root)
+        else:
+            pending_atomics.append(to_string(item))
+    flush_atomics()
+
+    container.set_size(root, container.node_count - root - 1)
+    return NodeRef(container, root)

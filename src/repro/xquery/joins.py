@@ -1,0 +1,172 @@
+"""Existential comparison and join evaluation strategies (Section 4.2).
+
+XQuery's general comparisons (``= != < <= > >=``) have existential
+semantics: the comparison is true as soon as *any* pair of items from the
+two operand sequences satisfies the underlying value comparison.  The module
+implements the two relational strategies of Figure 8:
+
+* :func:`existential_join` with ``strategy="dedup"`` — theta-join the two
+  (iteration, value) relations on the value predicate and eliminate the
+  duplicate iteration pairs afterwards (the generally applicable plan of
+  Figure 8a);
+* ``strategy="aggregate"`` — for the order comparisons, aggregate each
+  iteration group to its minimum / maximum first, so the theta-join produces
+  unique iteration pairs directly (Figure 8b);
+* ``strategy="auto"`` picks the aggregate plan whenever the comparison
+  allows it.
+
+:func:`existential_compare` applies the same machinery to the *intra-loop*
+case (both operand sequences keyed by the same ``iter``), producing the
+boolean result per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..relational import explain
+from ..relational import operators as ops
+from ..relational.column import Column
+from ..relational.properties import TableProps
+from ..relational.table import Table
+from .types import atomize, to_number
+
+
+_FLIPPED = {"eq": "eq", "ne": "ne", "lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}
+_MIN_MAX_PLAN = {
+    # op -> (aggregate for the left group, aggregate for the right group)
+    "lt": ("min", "max"),
+    "le": ("min", "max"),
+    "gt": ("max", "min"),
+    "ge": ("max", "min"),
+}
+
+
+def flip_comparison(op: str) -> str:
+    """The comparison to use when the operands are swapped."""
+    return _FLIPPED[op]
+
+
+def _value_table(rows: list[tuple[int, Any]], group_name: str) -> Table:
+    table = Table([
+        Column(group_name, [row[0] for row in rows]),
+        Column("value", [atomize(row[1]) for row in rows]),
+    ], props=TableProps(order=(group_name,)))
+    return table
+
+
+def existential_join(left: list[tuple[int, Any]], right: list[tuple[int, Any]],
+                     op: str, *, strategy: str = "auto",
+                     numeric: bool | None = None) -> list[tuple[int, int]]:
+    """Distinct ``(left_group, right_group)`` pairs satisfying the comparison.
+
+    ``left`` and ``right`` are lists of ``(group, value)`` pairs (values are
+    atomized items).  ``numeric=True`` forces numeric promotion of both
+    sides; ``None`` promotes automatically when any value is numeric.
+    """
+    if not left or not right:
+        return []
+    if strategy not in ("auto", "dedup", "aggregate"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    left_rows = [(group, atomize(value)) for group, value in left]
+    right_rows = [(group, atomize(value)) for group, value in right]
+
+    if numeric is None:
+        numeric = any(isinstance(value, (int, float)) and not isinstance(value, bool)
+                      for _, value in left_rows + right_rows)
+    if numeric:
+        left_rows = [(group, to_number(value)) for group, value in left_rows]
+        right_rows = [(group, to_number(value)) for group, value in right_rows]
+        left_rows = [(group, value) for group, value in left_rows if value is not None]
+        right_rows = [(group, value) for group, value in right_rows if value is not None]
+    else:
+        left_rows = [(group, str(value)) for group, value in left_rows]
+        right_rows = [(group, str(value)) for group, value in right_rows]
+
+    chosen = strategy
+    if chosen == "auto":
+        chosen = "aggregate" if op in _MIN_MAX_PLAN else "dedup"
+    if chosen == "aggregate" and op not in _MIN_MAX_PLAN:
+        chosen = "dedup"
+
+    left_table = _value_table(left_rows, "iter1")
+    right_table = _value_table(right_rows, "iter2")
+
+    if chosen == "aggregate":
+        left_kind, right_kind = _MIN_MAX_PLAN[op]
+        left_table = ops.aggregate(left_table, "iter1",
+                                   [("value", left_kind, "value")])
+        right_table = ops.aggregate(right_table, "iter2",
+                                    [("value", right_kind, "value")])
+        right_table = ops.project(right_table, {"iter2": "iter2", "value2": "value"})
+        joined = ops.theta_join(left_table, right_table, "value", "value2", op)
+        pairs = sorted(zip(joined.col("iter1"), joined.col("iter2")))
+        explain.record("existential", "existential.aggregate",
+                       len(left_rows) + len(right_rows), len(pairs), detail=op)
+        return pairs
+
+    right_table = ops.project(right_table, {"iter2": "iter2", "value2": "value"})
+    joined = ops.theta_join(left_table, right_table, "value", "value2", op)
+    projected = ops.project(joined, ("iter1", "iter2"))
+    projected = ops.distinct(projected, ("iter1", "iter2"))
+    pairs = sorted(zip(projected.col("iter1"), projected.col("iter2")))
+    explain.record("existential", "existential.dedup",
+                   len(left_rows) + len(right_rows), len(pairs), detail=op)
+    return pairs
+
+
+def existential_compare(left: dict[int, list[Any]], right: dict[int, list[Any]],
+                        op: str, *, strategy: str = "auto") -> set[int]:
+    """Iterations for which the general comparison is true (intra-loop case).
+
+    ``left`` and ``right`` map an iteration to the (atomized) items of the
+    respective operand sequence in that iteration.  The relational plan
+    behind this is an equi-join on ``iter`` followed by the value comparison;
+    because both inputs arrive ordered on ``iter``, the join degenerates to a
+    per-iteration merge.  An empty operand sequence makes the comparison
+    false for that iteration.  With ``strategy`` "aggregate"/"auto" the order
+    comparisons only inspect the min/max of each side (Figure 8b applied per
+    iteration).
+    """
+    true_iterations: set[int] = set()
+    use_aggregate = strategy in ("auto", "aggregate") and op in _MIN_MAX_PLAN
+    for iteration, left_values in left.items():
+        right_values = right.get(iteration)
+        if not right_values or not left_values:
+            continue
+        left_atoms = [atomize(value) for value in left_values]
+        right_atoms = [atomize(value) for value in right_values]
+        numeric = any(isinstance(value, (int, float)) and not isinstance(value, bool)
+                      for value in left_atoms + right_atoms)
+        if numeric:
+            left_atoms = [to_number(value) for value in left_atoms]
+            right_atoms = [to_number(value) for value in right_atoms]
+            left_atoms = [value for value in left_atoms if value is not None]
+            right_atoms = [value for value in right_atoms if value is not None]
+            if not left_atoms or not right_atoms:
+                continue
+        else:
+            left_atoms = [str(value) for value in left_atoms]
+            right_atoms = [str(value) for value in right_atoms]
+        if _any_pair_matches(left_atoms, right_atoms, op,
+                             use_aggregate=use_aggregate):
+            true_iterations.add(iteration)
+    return true_iterations
+
+
+def _any_pair_matches(left_atoms: list[Any], right_atoms: list[Any], op: str, *,
+                      use_aggregate: bool) -> bool:
+    if op == "eq":
+        return not set(left_atoms).isdisjoint(right_atoms)
+    if op == "ne":
+        if len(set(left_atoms)) > 1 or len(set(right_atoms)) > 1:
+            return True
+        return left_atoms[0] != right_atoms[0]
+    if use_aggregate:
+        left_kind, right_kind = _MIN_MAX_PLAN[op]
+        left_value = min(left_atoms) if left_kind == "min" else max(left_atoms)
+        right_value = max(right_atoms) if right_kind == "max" else min(right_atoms)
+        return ops.compare_values(op, left_value, right_value)
+    return any(ops.compare_values(op, left_value, right_value)
+               for left_value in left_atoms for right_value in right_atoms)

@@ -1,0 +1,187 @@
+"""Tokenizer for the supported XQuery subset.
+
+XQuery has no reserved words — keywords are recognised contextually by the
+parser — so the lexer only distinguishes names, numbers, string literals,
+variables (``$name``) and punctuation.  Direct element constructors switch
+the parser into raw-character mode; to support that the lexer exposes its
+cursor so the parser can continue scanning character-wise from the position
+right after a token (see :class:`repro.xquery.parser.XQueryParser`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import XQuerySyntaxError
+
+
+@dataclass
+class Token:
+    kind: str           # "name" | "number" | "string" | "variable" | "symbol" | "eof"
+    value: str | int | float
+    start: int          # offset of the first character
+    end: int            # offset one past the last character
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "symbol" and self.value in symbols
+
+    def is_name(self, *names: str) -> bool:
+        return self.kind == "name" and self.value in names
+
+
+#: multi-character punctuation, longest first
+_MULTI_SYMBOLS = ["//", "::", ":=", "<=", ">=", "!=", "..", "||"]
+_SINGLE_SYMBOLS = set("()[]{},;/=<>+-*@.|?")
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+
+
+def is_name_start(char: str) -> bool:
+    return char in _NAME_START
+
+
+class Lexer:
+    """A cursor-based tokenizer; the parser may also read raw characters."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+
+    # ------------------------------------------------------------------ #
+    # character-level helpers (also used by constructor parsing)
+    # ------------------------------------------------------------------ #
+    def at_end(self) -> bool:
+        return self.position >= len(self.source)
+
+    def peek_char(self, offset: int = 0) -> str:
+        index = self.position + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def error(self, message: str, position: int | None = None) -> XQuerySyntaxError:
+        position = self.position if position is None else position
+        line = self.source.count("\n", 0, position) + 1
+        column = position - self.source.rfind("\n", 0, position)
+        return XQuerySyntaxError(message, line=line, column=column)
+
+    def skip_whitespace_and_comments(self) -> None:
+        source = self.source
+        while self.position < len(source):
+            char = source[self.position]
+            if char.isspace():
+                self.position += 1
+            elif source.startswith("(:", self.position):
+                depth = 1
+                self.position += 2
+                while self.position < len(source) and depth:
+                    if source.startswith("(:", self.position):
+                        depth += 1
+                        self.position += 2
+                    elif source.startswith(":)", self.position):
+                        depth -= 1
+                        self.position += 2
+                    else:
+                        self.position += 1
+                if depth:
+                    raise self.error("unterminated comment")
+            else:
+                return
+
+    # ------------------------------------------------------------------ #
+    # tokenization
+    # ------------------------------------------------------------------ #
+    def next_token(self) -> Token:
+        self.skip_whitespace_and_comments()
+        start = self.position
+        source = self.source
+        if self.at_end():
+            return Token("eof", "", start, start)
+        char = source[start]
+
+        # string literal
+        if char in "\"'":
+            return self._read_string(char)
+
+        # number literal
+        if char.isdigit() or (char == "." and self.peek_char(1).isdigit()):
+            return self._read_number()
+
+        # variable reference
+        if char == "$":
+            self.position += 1
+            name = self._read_name_chars()
+            if not name:
+                raise self.error("expected a variable name after '$'")
+            return Token("variable", name, start, self.position)
+
+        # name (keywords are names too)
+        if char in _NAME_START:
+            name = self._read_name_chars()
+            return Token("name", name, start, self.position)
+
+        # multi-character symbols
+        for symbol in _MULTI_SYMBOLS:
+            if source.startswith(symbol, start):
+                self.position = start + len(symbol)
+                return Token("symbol", symbol, start, self.position)
+
+        if char in _SINGLE_SYMBOLS:
+            self.position = start + 1
+            return Token("symbol", char, start, self.position)
+
+        raise self.error(f"unexpected character {char!r}")
+
+    def _read_name_chars(self) -> str:
+        start = self.position
+        source = self.source
+        while self.position < len(source) and source[self.position] in _NAME_CHARS:
+            # a trailing dot belongs to the following token (e.g. "1 to 2")
+            self.position += 1
+        name = source[start:self.position]
+        # names like "foo:bar" (prefixed QNames) — keep the prefix as part of
+        # the name so fn:count etc. resolve naturally
+        if self.peek_char() == ":" and self.peek_char(1) in _NAME_START \
+                and not self.source.startswith("::", self.position):
+            self.position += 1
+            rest = self._read_name_chars()
+            name = f"{name}:{rest}"
+        return name
+
+    def _read_string(self, quote: str) -> Token:
+        start = self.position
+        self.position += 1
+        pieces: list[str] = []
+        source = self.source
+        while True:
+            if self.at_end():
+                raise self.error("unterminated string literal", start)
+            char = source[self.position]
+            if char == quote:
+                if self.peek_char(1) == quote:        # doubled quote escape
+                    pieces.append(quote)
+                    self.position += 2
+                    continue
+                self.position += 1
+                break
+            pieces.append(char)
+            self.position += 1
+        return Token("string", "".join(pieces), start, self.position)
+
+    def _read_number(self) -> Token:
+        start = self.position
+        source = self.source
+        seen_dot = False
+        while self.position < len(source):
+            char = source[self.position]
+            if char.isdigit():
+                self.position += 1
+            elif char == "." and not seen_dot and self.peek_char(1).isdigit():
+                seen_dot = True
+                self.position += 1
+            else:
+                break
+        text = source[start:self.position]
+        value: int | float = float(text) if seen_dot else int(text)
+        return Token("number", value, start, self.position)

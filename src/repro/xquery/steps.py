@@ -1,0 +1,149 @@
+"""Bridging XPath location steps to the staircase-join family.
+
+``axis_step`` receives the relational encoding of the context node sequences
+of all iterations (``iter|pos|item`` with node items), converts it into the
+``(pre, iter)`` pairs the staircase joins expect, dispatches to
+
+* the **loop-lifted** staircase join (default),
+* the **iterative** staircase join (one pass per iteration — the Figure 12
+  baseline, selected per axis through the engine options), or
+* the **nametest pushdown** variant (candidate lists from the element-name
+  index, Section 3.2),
+
+and re-assembles an ``iter|pos|item`` table whose items are node surrogates
+in document order per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import XQueryTypeError
+from ..relational.column import Column
+from ..relational.properties import TableProps
+from ..relational.table import Table
+from ..relational import explain
+from ..staircase.axes import Axis, NodeTest
+from ..staircase.iterative import StaircaseStats
+from ..staircase.loop_lifted import iterative_step, ll_attribute, loop_lifted_step
+from ..staircase.pushdown import loop_lifted_step_pushdown
+from ..xml.document import DocumentContainer, NodeKind, NodeRef
+from . import ast
+
+
+@dataclass
+class StepOptions:
+    """The ablation switches that govern location-step execution."""
+
+    loop_lifted_child: bool = True
+    loop_lifted_descendant: bool = True
+    loop_lifted_other: bool = True
+    nametest_pushdown: bool = True
+
+
+def node_test_from_ast(test: "ast.NodeTestExpr") -> NodeTest:
+    """Translate an AST node test into a staircase-join node test."""
+    name = test.name if test.name not in (None, "*") else None
+    return NodeTest(kind=test.kind, name=name)
+
+
+def _wants_loop_lifted(axis: Axis, options: StepOptions) -> bool:
+    if axis is Axis.CHILD:
+        return options.loop_lifted_child
+    if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+        return options.loop_lifted_descendant
+    return options.loop_lifted_other
+
+
+def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
+              options: StepOptions | None = None,
+              stats: StaircaseStats | None = None) -> Table:
+    """Evaluate one location step for every iteration of the context.
+
+    ``context`` is an ``iter|pos|item`` table whose items are
+    :class:`~repro.xml.document.NodeRef` values; non-node items raise a type
+    error (XPTY0019).  The result is an ``iter|pos|item`` table with the step
+    results per iteration in document order, duplicate free, ``pos``
+    renumbered 1..n per iteration.
+    """
+    if options is None:
+        options = StepOptions()
+
+    # split the context per document container; remember attribute owners
+    per_container: dict[int, tuple[DocumentContainer, list[tuple[int, int]]]] = {}
+    for iteration, item in zip(context.col("iter"), context.col("item")):
+        if not isinstance(item, NodeRef):
+            raise XQueryTypeError(
+                f"path step applied to a non-node item {item!r}")
+        container = item.container
+        if item.attr is not None:
+            # attribute nodes only participate in self / parent steps
+            if axis is Axis.PARENT:
+                pairs = per_container.setdefault(
+                    id(container), (container, []))[1]
+                pairs.append((item.pre, iteration))
+            elif axis is Axis.SELF and node_test.kind in ("attribute", "node"):
+                pairs = per_container.setdefault(
+                    id(container), (container, []))[1]
+                pairs.append((item.pre, iteration))
+            continue
+        pairs = per_container.setdefault(id(container), (container, []))[1]
+        pairs.append((item.pre, iteration))
+
+    results: list[tuple[int, NodeRef]] = []
+    for container, pairs in per_container.values():
+        pairs = sorted(set(pairs))
+        if axis is Axis.ATTRIBUTE:
+            name = node_test.name if node_test.has_name else None
+            for iteration, attr_index in ll_attribute(container, pairs, name):
+                results.append((iteration, container.attribute(attr_index)))
+            explain.record("step", "step.attribute", len(pairs), len(results))
+            continue
+
+        if _wants_loop_lifted(axis, options):
+            produced = None
+            if options.nametest_pushdown:
+                produced = loop_lifted_step_pushdown(container, pairs, axis,
+                                                     node_test, stats=stats)
+                if produced is not None:
+                    explain.record("step", "step.pushdown", len(pairs),
+                                   len(produced), detail=axis.value)
+            if produced is None:
+                produced = loop_lifted_step(container, pairs, axis, node_test,
+                                            stats=stats)
+                explain.record("step", "step.loop-lifted", len(pairs),
+                               len(produced), detail=axis.value)
+        else:
+            produced = iterative_step(container, pairs, axis, node_test,
+                                      stats=stats)
+            explain.record("step", "step.iterative", len(pairs), len(produced),
+                           detail=axis.value)
+        for iteration, pre in produced:
+            results.append((iteration, container.node(pre)))
+
+    # document order per iteration, duplicate free, positions renumbered
+    results.sort(key=lambda pair: (pair[0], pair[1].order_key()))
+    deduped: list[tuple[int, NodeRef]] = []
+    previous: tuple[int, NodeRef] | None = None
+    for pair in results:
+        if previous is not None and pair[0] == previous[0] and pair[1] == previous[1]:
+            continue
+        deduped.append(pair)
+        previous = pair
+
+    iters = [pair[0] for pair in deduped]
+    items = [pair[1] for pair in deduped]
+    positions: list[int] = []
+    counter = 0
+    last_iter: int | None = None
+    for iteration in iters:
+        if iteration != last_iter:
+            counter = 0
+            last_iter = iteration
+        counter += 1
+        positions.append(counter)
+
+    table = Table([Column("iter", iters), Column("pos", positions),
+                   Column("item", items)],
+                  props=TableProps(order=("iter", "pos")))
+    return table

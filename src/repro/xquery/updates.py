@@ -1,0 +1,112 @@
+"""XML update operators (Section 5.2) exposed at the engine level.
+
+The W3C update facility was still a draft when the paper was written;
+MonetDB/XQuery implemented the same functionality "by means of a series of
+new XQuery operators with side effects".  We mirror that with an explicit
+update API: an :class:`XMLUpdater` wraps a loaded document in the page-wise
+updatable storage and offers
+
+* value updates     — :meth:`XMLUpdater.replace_value`,
+  :meth:`XMLUpdater.set_attribute`, :meth:`XMLUpdater.delete_attribute`,
+* structural updates — :meth:`XMLUpdater.insert_first`,
+  :meth:`XMLUpdater.insert_last`, :meth:`XMLUpdater.delete`,
+
+where the update targets are selected with ordinary XQuery queries run
+through the engine.  After a batch of updates, :meth:`XMLUpdater.commit`
+republishes the updated document in the engine's document store so
+subsequent queries observe the changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import UpdateError
+from ..storage.updatable import UpdatableDocument, UpdateStats
+from ..xml.document import DocumentContainer, NodeRef
+from ..xml.parser import parse_events
+from ..xml.shredder import shred_events
+from .engine import MonetXQuery
+
+
+class XMLUpdater:
+    """Apply value and structural updates to one loaded document."""
+
+    def __init__(self, engine: MonetXQuery, document_name: str, *,
+                 page_size: int = 64, fill_factor: float = 0.75):
+        self.engine = engine
+        self.document_name = document_name
+        container = engine.store.get(document_name)
+        self.updatable = UpdatableDocument.from_container(
+            container, page_size=page_size, fill_factor=fill_factor)
+
+    # ------------------------------------------------------------------ #
+    # target selection
+    # ------------------------------------------------------------------ #
+    def select(self, query: str) -> list[int]:
+        """Run an XQuery returning nodes of this document; yields pre ranks."""
+        result = self.engine.query(query, context=self.document_name)
+        container = self.engine.store.get(self.document_name)
+        targets: list[int] = []
+        for item in result.items:
+            if not isinstance(item, NodeRef) or item.container is not container:
+                raise UpdateError(
+                    "update target query must return nodes of the target document")
+            if item.attr is not None:
+                raise UpdateError("attribute targets are updated via set_attribute")
+            targets.append(item.pre)
+        return targets
+
+    # ------------------------------------------------------------------ #
+    # value updates
+    # ------------------------------------------------------------------ #
+    def replace_value(self, target_pre: int, new_value: str) -> UpdateStats:
+        self.updatable.replace_value(target_pre, new_value)
+        return self.updatable.stats
+
+    def set_attribute(self, target_pre: int, name: str, value: str) -> UpdateStats:
+        self.updatable.set_attribute(target_pre, name, value)
+        return self.updatable.stats
+
+    def delete_attribute(self, target_pre: int, name: str) -> UpdateStats:
+        self.updatable.delete_attribute(target_pre, name)
+        return self.updatable.stats
+
+    # ------------------------------------------------------------------ #
+    # structural updates
+    # ------------------------------------------------------------------ #
+    def _fragment_from_xml(self, xml_text: str) -> tuple[DocumentContainer, int]:
+        fragment = DocumentContainer("(fragment)", order_key=0)
+        root = shred_events(parse_events(xml_text), fragment,
+                            add_document_node=False)
+        return fragment, root
+
+    def insert_first(self, target_pre: int, xml_text: str) -> UpdateStats:
+        """``insert-first``: the fragment becomes the first child of the target."""
+        fragment, root = self._fragment_from_xml(xml_text)
+        self.updatable.insert_subtree(target_pre, fragment, root,
+                                      as_first_child=True)
+        return self.updatable.stats
+
+    def insert_last(self, target_pre: int, xml_text: str) -> UpdateStats:
+        """``insert-last``: the fragment becomes the last child of the target."""
+        fragment, root = self._fragment_from_xml(xml_text)
+        self.updatable.insert_subtree(target_pre, fragment, root,
+                                      as_first_child=False)
+        return self.updatable.stats
+
+    def delete(self, target_pre: int) -> UpdateStats:
+        """Delete the subtree rooted at the target node."""
+        self.updatable.delete_subtree(target_pre)
+        return self.updatable.stats
+
+    # ------------------------------------------------------------------ #
+    # publishing
+    # ------------------------------------------------------------------ #
+    def commit(self) -> DocumentContainer:
+        """Re-publish the updated document under its name in the engine store."""
+        updated = self.updatable.to_container(self.document_name)
+        self.engine.store.drop(self.document_name)
+        updated.name = self.document_name
+        self.engine.store.register(updated)
+        return updated

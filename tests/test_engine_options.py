@@ -1,0 +1,118 @@
+"""Engine option ablations: every configuration computes the same answers,
+only the physical algorithms (and therefore the trace/counters) differ."""
+
+import pytest
+
+from repro import EngineOptions, MonetXQuery
+from repro.relational import capture
+
+
+QUERIES = [
+    "count(//person)",
+    'for $p in /site/people/person[@id = "person1"] return $p/name/text()',
+    "for $a in /site/open_auctions/open_auction return count($a/bidder)",
+    "for $p in /site/people/person "
+    "let $t := for $c in /site/closed_auctions/closed_auction "
+    "          where $c/buyer/@person = $p/@id return $c "
+    "return count($t)",
+    "for $x in (3, 1, 2) order by $x return $x",
+    "sum(//price)",
+]
+
+
+class TestAblationsPreserveSemantics:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_all_optimizations_off_matches_default(self, engine, all_options_off, query):
+        fast = engine.query(query).items
+        slow = engine.query(query, options=all_options_off).items
+        assert fast == slow
+
+    @pytest.mark.parametrize("flag", ["loop_lifted_child", "loop_lifted_descendant",
+                                      "nametest_pushdown", "join_recognition",
+                                      "order_optimization", "positional_lookup",
+                                      "existential_aggregates"])
+    def test_single_flag_off_matches_default(self, engine, flag):
+        query = QUERIES[3]
+        expected = engine.query(query).items
+        options = engine.options.replace(**{flag: False})
+        assert engine.query(query, options=options).items == expected
+
+
+class TestAblationsChangeAlgorithms:
+    def test_iterative_steps_recorded_when_loop_lifting_disabled(self, engine):
+        options = engine.options.replace(loop_lifted_child=False,
+                                         loop_lifted_descendant=False,
+                                         loop_lifted_other=False,
+                                         nametest_pushdown=False)
+        with capture() as trace:
+            engine.query("for $p in /site/people/person return count($p/name)",
+                         options=options)
+        assert trace.count("step.iterative") > 0
+        assert trace.count("step.loop-lifted") == 0
+
+    def test_loop_lifted_steps_recorded_by_default(self, engine):
+        with capture() as trace:
+            engine.query("for $p in /site/people/person return count($p/name)",
+                         options=engine.options.replace(nametest_pushdown=False))
+        assert trace.count("step.loop-lifted") > 0
+
+    def test_pushdown_steps_recorded_when_enabled(self, engine):
+        with capture() as trace:
+            engine.query("count(//person)")
+        assert trace.count("step.pushdown") > 0
+
+    def test_order_optimization_reduces_sorts(self, engine):
+        query = ("for $p in /site/people/person "
+                 "return count($p/name)")
+        with capture() as optimized:
+            engine.query(query)
+        with capture() as naive:
+            engine.query(query, options=engine.options.replace(order_optimization=False))
+        assert naive.count("sort.full") > optimized.count("sort.full")
+        assert optimized.count("sort.skipped") > 0
+
+    def test_existential_strategy_switch(self, engine):
+        query = ("for $p in /site/people/person "
+                 "let $l := for $i in /site/open_auctions/open_auction/initial "
+                 "          where $p/profile/@income > 5000 * exactly-one($i/text()) "
+                 "          return $i "
+                 "return count($l)")
+        with capture() as aggregate_trace:
+            baseline = engine.query(query).items
+        with capture() as dedup_trace:
+            other = engine.query(
+                query, options=engine.options.replace(existential_aggregates=False)).items
+        assert baseline == other
+        assert aggregate_trace.count("existential.aggregate") > 0
+        assert dedup_trace.count("existential.aggregate") == 0
+
+
+class TestEngineBasics:
+    def test_options_replace_does_not_mutate(self):
+        options = EngineOptions()
+        changed = options.replace(join_recognition=False)
+        assert options.join_recognition and not changed.join_recognition
+
+    def test_query_result_helpers(self, engine):
+        result = engine.query("(1, 2)")
+        assert len(result) == 2
+        assert result.strings() == ["1", "2"]
+        assert result.elapsed_seconds >= 0
+
+    def test_default_context_is_first_document(self):
+        mxq = MonetXQuery()
+        mxq.load_document_text("<a><b/></a>", name="first.xml")
+        mxq.load_document_text("<c/>", name="second.xml")
+        assert mxq.query("count(/a/b)").items == [1]
+        mxq.set_default_context("second.xml")
+        assert mxq.query("count(/c)").items == [1]
+
+    def test_drop_document(self, engine):
+        engine.drop_document("auction.xml")
+        assert "auction.xml" not in engine.store.names()
+
+    def test_reset_transient_clears_constructed_nodes(self, engine):
+        engine.query("<a/>")
+        assert engine.transient.node_count > 0
+        engine.reset_transient()
+        assert engine.transient.node_count == 0

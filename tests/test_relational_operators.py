@@ -1,0 +1,227 @@
+"""Unit tests for the relational algebra operators and algorithm selection."""
+
+import pytest
+
+from repro.errors import RelationalError, SchemaError
+from repro.relational import Table, capture
+from repro.relational import operators as ops
+
+
+@pytest.fixture
+def left():
+    return Table.from_dict({"iter": [1, 2, 3], "item": [10, 20, 30]},
+                           infer_props=True, order=("iter",))
+
+
+@pytest.fixture
+def right():
+    return Table.from_dict({"key": [1, 2, 3, 4], "val": ["a", "b", "c", "d"]},
+                           infer_props=True, order=("key",))
+
+
+class TestProjectAttach:
+    def test_project_renames(self, left):
+        result = ops.project(left, {"i": "iter"})
+        assert result.column_names == ("i",)
+        assert result.col("i") == [1, 2, 3]
+
+    def test_project_keeps_order_prefix(self, left):
+        result = ops.project(left, {"iter": "iter", "item": "item"})
+        assert result.props.order == ("iter",)
+
+    def test_attach_constant(self, left):
+        result = ops.attach(left, "pos", 1)
+        assert result.col("pos") == [1, 1, 1]
+        assert result.col_props("pos").const
+
+    def test_attach_existing_name_raises(self, left):
+        with pytest.raises(SchemaError):
+            ops.attach(left, "iter", 0)
+
+    def test_add_column_length_check(self, left):
+        with pytest.raises(SchemaError):
+            ops.add_column(left, "x", [1])
+
+    def test_number_is_dense(self, left):
+        result = ops.number(left, "rank")
+        assert result.col("rank") == [1, 2, 3]
+        assert result.col_props("rank").dense
+
+
+class TestSelect:
+    def test_select_mask(self, left):
+        result = ops.select_mask(left, [True, False, True])
+        assert result.col("item") == [10, 30]
+
+    def test_select_eq_positional_on_dense(self, left):
+        with capture() as trace:
+            result = ops.select_eq(left, "iter", 2)
+        assert result.col("item") == [20]
+        assert trace.count("select.positional") == 1
+
+    def test_select_eq_scan_when_requested(self, left):
+        with capture() as trace:
+            result = ops.select_eq(left, "item", 20, use_positional=False)
+        assert result.col("iter") == [2]
+        assert trace.count("select.scan") == 1
+
+    def test_select_eq_positional_miss(self, left):
+        result = ops.select_eq(left, "iter", 99)
+        assert result.row_count == 0
+
+    def test_select_in(self, left):
+        result = ops.select_in(left, "iter", [1, 3])
+        assert result.col("item") == [10, 30]
+
+
+class TestJoins:
+    def test_positional_join_on_dense_key(self, left, right):
+        with capture() as trace:
+            result = ops.join(left, right, "iter", "key")
+        assert result.col("val") == ["a", "b", "c"]
+        assert trace.count("join.positional") == 1
+
+    def test_hash_join_when_not_dense(self, left):
+        other = Table.from_dict({"k": [20, 30, 30], "tag": ["x", "y", "z"]})
+        result = ops.join(left, other, "item", "k", use_positional=False)
+        assert sorted(result.col("tag")) == ["x", "y", "z"]
+
+    def test_join_rejects_overlapping_schemas(self, left):
+        with pytest.raises(SchemaError):
+            ops.join(left, left, "iter", "iter")
+
+    def test_join_preserves_left_order(self, left, right):
+        result = ops.join(left, right, "iter", "key", use_positional=False)
+        assert result.col("iter") == [1, 2, 3]
+        assert result.props.order == ("iter",)
+
+    def test_cross_product_count(self, left, right):
+        result = ops.cross(left, right)
+        assert result.row_count == left.row_count * right.row_count
+
+    def test_theta_join_lt(self):
+        numbers = Table.from_dict({"a": [1, 5]})
+        others = Table.from_dict({"b": [2, 6]})
+        result = ops.theta_join(numbers, others, "a", "b", "lt",
+                                algorithm="nested-loop")
+        assert sorted(zip(result.col("a"), result.col("b"))) == [(1, 2), (1, 6), (5, 6)]
+
+    def test_theta_join_index_matches_nested_loop(self):
+        numbers = Table.from_dict({"a": list(range(10))})
+        others = Table.from_dict({"b": list(range(5, 15))})
+        nested = ops.theta_join(numbers, others, "a", "b", "ge",
+                                algorithm="nested-loop")
+        index = ops.theta_join(numbers, others, "a", "b", "ge", algorithm="index")
+        assert sorted(zip(nested.col("a"), nested.col("b"))) == \
+            sorted(zip(index.col("a"), index.col("b")))
+
+    def test_theta_join_unknown_comparison(self, left, right):
+        with pytest.raises(RelationalError):
+            ops.theta_join(left, right, "iter", "key", "like")
+
+
+class TestSetOperators:
+    def test_union_all(self, left):
+        result = ops.union_all([left, left])
+        assert result.row_count == 6
+
+    def test_union_schema_mismatch(self, left, right):
+        with pytest.raises(SchemaError):
+            ops.union_all([left, right])
+
+    def test_difference(self):
+        a = Table.from_dict({"k": [1, 2, 3]})
+        b = Table.from_dict({"k": [2]})
+        assert ops.difference(a, b, ["k"]).col("k") == [1, 3]
+
+    def test_distinct_hash(self):
+        table = Table.from_dict({"k": [3, 1, 3, 2, 1]})
+        with capture() as trace:
+            result = ops.distinct(table, ["k"])
+        assert result.col("k") == [3, 1, 2]
+        assert trace.count("distinct.hash") == 1
+
+    def test_distinct_merge_when_ordered(self):
+        table = Table.from_dict({"k": [1, 1, 2, 3, 3]}, order=("k",))
+        with capture() as trace:
+            result = ops.distinct(table, ["k"])
+        assert result.col("k") == [1, 2, 3]
+        assert trace.count("distinct.merge") == 1
+
+
+class TestRownumAndAggregates:
+    def test_rownum_streaming_on_ordered_input(self):
+        table = Table.from_dict({"g": [1, 1, 2, 2], "v": [1, 2, 1, 2]},
+                                order=("g", "v"))
+        with capture() as trace:
+            result = ops.rownum(table, "rank", ("v",), partition="g")
+        assert result.col("rank") == [1, 2, 1, 2]
+        assert trace.count("rownum.streaming") == 1
+
+    def test_rownum_sorting_fallback(self):
+        table = Table.from_dict({"g": [1, 2, 1, 2], "v": [2, 2, 1, 1]})
+        with capture() as trace:
+            result = ops.rownum(table, "rank", ("v",), partition="g")
+        assert result.col("rank") == [2, 2, 1, 1]
+        assert trace.count("rownum.sorting") == 1
+
+    def test_rownum_without_partition(self):
+        table = Table.from_dict({"v": [30, 10, 20]})
+        result = ops.rownum(table, "rank", ("v",))
+        assert result.col("rank") == [3, 1, 2]
+
+    def test_rownum_existing_column_raises(self):
+        table = Table.from_dict({"v": [1]})
+        with pytest.raises(SchemaError):
+            ops.rownum(table, "v", ())
+
+    def test_aggregate_count_sum_avg(self):
+        table = Table.from_dict({"g": [1, 1, 2], "v": [10, 20, 5]})
+        result = ops.aggregate(table, "g", [("cnt", "count", None),
+                                            ("total", "sum", "v"),
+                                            ("mean", "avg", "v")])
+        assert result.col("g") == [1, 2]
+        assert result.col("cnt") == [2, 1]
+        assert result.col("total") == [30, 5]
+        assert result.col("mean") == [15, 5]
+
+    def test_aggregate_min_max_with_strings(self):
+        table = Table.from_dict({"g": [1, 1], "v": ["5", "7"]})
+        result = ops.aggregate(table, "g", [("lo", "min", "v"), ("hi", "max", "v")])
+        assert result.col("lo") == [5] and result.col("hi") == [7]
+
+    def test_aggregate_global(self):
+        table = Table.from_dict({"v": [1, 2, 3]})
+        result = ops.aggregate(table, None, [("cnt", "count", None)])
+        assert result.col("cnt") == [3]
+
+    def test_aggregate_unknown_kind(self):
+        table = Table.from_dict({"g": [1], "v": [1]})
+        with pytest.raises(RelationalError):
+            ops.aggregate(table, "g", [("x", "median", "v")])
+
+
+class TestKernels:
+    def test_fun_applies_rowwise(self):
+        table = Table.from_dict({"a": [1, 2], "b": [10, 20]})
+        result = ops.fun(table, "c", lambda a, b: a + b, ["a", "b"])
+        assert result.col("c") == [11, 22]
+
+    def test_fun_with_constant_argument(self):
+        table = Table.from_dict({"a": [1, 2]})
+        result = ops.fun(table, "c", lambda a, k: a * k, ["a", ("const", 10)])
+        assert result.col("c") == [10, 20]
+
+    def test_compare_values_numeric_promotion(self):
+        assert ops.compare_values("eq", "42", 42)
+        assert ops.compare_values("gt", "10.5", 10)
+        assert not ops.compare_values("eq", "abc", 42)
+
+    def test_compare_values_strings(self):
+        assert ops.compare_values("lt", "apple", "banana")
+
+    def test_arithmetic_kernel(self):
+        assert ops.arithmetic("add", "2", 3) == 5
+        assert ops.arithmetic("idiv", 7, 2) == 3
+        assert ops.arithmetic("mod", 7, 2) == 1
+        assert ops.arithmetic("mul", "x", 2) is None

@@ -1,0 +1,98 @@
+"""Sort / refine-sort and order-property exploitation (Section 4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational import Table, capture
+from repro.relational.sorting import is_sorted_on, refine_sort, sort, total_order_key
+
+
+class TestSort:
+    def test_full_sort(self):
+        table = Table.from_dict({"a": [3, 1, 2], "b": ["x", "y", "z"]})
+        result = sort(table, ("a",))
+        assert result.col("a") == [1, 2, 3]
+        assert result.col("b") == ["y", "z", "x"]
+
+    def test_sort_skipped_when_property_holds(self):
+        table = Table.from_dict({"a": [1, 2, 3]}, order=("a",))
+        with capture() as trace:
+            result = sort(table, ("a",))
+        assert result is table
+        assert trace.count("sort.skipped") == 1
+        assert trace.count("sort.full") == 0
+
+    def test_sort_not_skipped_without_properties(self):
+        table = Table.from_dict({"a": [1, 2, 3]}, order=("a",))
+        with capture() as trace:
+            sort(table, ("a",), use_properties=False)
+        assert trace.count("sort.full") == 1
+
+    def test_sort_sets_order_property(self):
+        table = Table.from_dict({"a": [2, 1]})
+        result = sort(table, ("a",))
+        assert result.props.order == ("a",)
+
+    def test_lexicographic_two_columns(self):
+        table = Table.from_dict({"a": [2, 1, 1], "b": [0, 5, 3]})
+        result = sort(table, ("a", "b"))
+        assert result.to_rows(["a", "b"]) == [(1, 3), (1, 5), (2, 0)]
+
+    def test_mixed_type_column_sorts_deterministically(self):
+        table = Table.from_dict({"a": ["b", 2, True, 1, "a"]})
+        result = sort(table, ("a",))
+        assert result.col("a") == [True, 1, 2, "a", "b"]
+
+    def test_is_sorted_on(self):
+        table = Table.from_dict({"a": [1, 2, 2], "b": [1, 5, 0]})
+        assert is_sorted_on(table, ("a",))
+        assert not is_sorted_on(table, ("a", "b"))
+
+
+class TestRefineSort:
+    def test_refine_sort_only_reorders_within_groups(self):
+        table = Table.from_dict({"g": [1, 1, 2, 2], "v": [5, 3, 9, 1]},
+                                order=("g",))
+        result = refine_sort(table, ("g",), ("v",))
+        assert result.to_rows(["g", "v"]) == [(1, 3), (1, 5), (2, 1), (2, 9)]
+
+    def test_refine_sort_skipped_when_fully_ordered(self):
+        table = Table.from_dict({"g": [1, 1], "v": [1, 2]}, order=("g", "v"))
+        with capture() as trace:
+            refine_sort(table, ("g",), ("v",))
+        assert trace.count("sort.skipped") == 1
+
+    def test_refine_sort_matches_full_sort(self):
+        table = Table.from_dict({"g": [1, 1, 1, 2, 2], "v": [3, 1, 2, 9, 0]},
+                                order=("g",))
+        refined = refine_sort(table, ("g",), ("v",))
+        fully = sort(table, ("g", "v"), use_properties=False)
+        assert refined.to_rows(["g", "v"]) == fully.to_rows(["g", "v"])
+
+
+class TestTotalOrderKey:
+    def test_none_sorts_first(self):
+        assert total_order_key(None) < total_order_key(0)
+
+    def test_numbers_before_strings(self):
+        assert total_order_key(10) < total_order_key("1")
+
+    def test_bools_are_smallest_non_null(self):
+        assert total_order_key(True) < total_order_key(0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(-20, 20)), max_size=40))
+def test_sort_matches_python_sorted(rows):
+    table = Table.from_dict({"g": [row[0] for row in rows],
+                             "v": [row[1] for row in rows]})
+    result = sort(table, ("g", "v"), use_properties=False)
+    assert result.to_rows(["g", "v"]) == sorted(rows)
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(-10, 10)), max_size=40))
+def test_refine_sort_equals_full_sort_on_grouped_input(rows):
+    rows = sorted(rows, key=lambda row: row[0])      # grouped (ordered) on g
+    table = Table.from_dict({"g": [row[0] for row in rows],
+                             "v": [row[1] for row in rows]}, order=("g",))
+    refined = refine_sort(table, ("g",), ("v",))
+    assert refined.to_rows(["g", "v"]) == sorted(rows)

@@ -1,0 +1,110 @@
+"""Unit tests for columns, tables and the property framework."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Column, ColumnProps, Table
+from repro.relational.properties import infer_column_props, is_dense_sequence
+
+
+class TestColumn:
+    def test_dense_constructor(self):
+        column = Column.dense("iter", 4, base=1)
+        assert column.values == [1, 2, 3, 4]
+        assert column.props.dense and column.props.key
+        assert column.props.dense_base == 1
+
+    def test_constant_constructor(self):
+        column = Column.constant("pos", 1, 3)
+        assert column.values == [1, 1, 1]
+        assert column.props.const and column.props.const_value == 1
+
+    def test_take_is_positional(self):
+        column = Column("item", ["a", "b", "c", "d"])
+        assert column.take([3, 0]).values == ["d", "a"]
+
+    def test_take_out_of_range_raises(self):
+        column = Column("item", [1, 2])
+        with pytest.raises(Exception):
+            column.take([5])
+
+    def test_renamed_keeps_values_and_props(self):
+        column = Column.dense("a", 3)
+        renamed = column.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.values == column.values
+        assert renamed.props.dense
+
+    def test_refresh_props_detects_constant(self):
+        column = Column("c", [7, 7, 7])
+        props = column.refresh_props()
+        assert props.const and props.const_value == 7
+
+
+class TestDenseInference:
+    def test_dense_sequence_true(self):
+        assert is_dense_sequence([5, 6, 7]) == (True, 5)
+
+    def test_dense_sequence_false(self):
+        assert is_dense_sequence([1, 3, 4]) == (False, 0)
+
+    def test_empty_is_dense(self):
+        assert is_dense_sequence([]) == (True, 0)
+
+    def test_booleans_are_not_dense(self):
+        assert is_dense_sequence([False, True]) == (False, 0)
+
+    def test_infer_key(self):
+        props = infer_column_props(["x", "y", "z"])
+        assert props.key and not props.dense
+
+    def test_infer_unhashable_values(self):
+        props = infer_column_props([[1], [2]])
+        assert not props.key
+
+
+class TestTable:
+    def test_from_dict_and_rows(self):
+        table = Table.from_dict({"a": [1, 2], "b": ["x", "y"]})
+        assert table.row_count == 2
+        assert table.to_rows() == [(1, "x"), (2, "y")]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(SchemaError):
+            Table([Column("a", [1, 2]), Column("b", [1])])
+
+    def test_duplicate_column_raises(self):
+        with pytest.raises(SchemaError):
+            Table([Column("a", [1]), Column("a", [2])])
+
+    def test_unknown_column_raises(self):
+        table = Table.from_dict({"a": [1]})
+        with pytest.raises(SchemaError):
+            table.column("zzz")
+
+    def test_take_preserves_order_props_when_monotone(self):
+        table = Table.from_dict({"a": [1, 2, 3]}, order=("a",))
+        sliced = table.take([0, 2], keep_order=True)
+        assert sliced.props.order == ("a",)
+        assert sliced.col("a") == [1, 3]
+
+    def test_ordered_on_prefix(self):
+        table = Table.from_dict({"a": [1], "b": [2]}, order=("a", "b"))
+        assert table.ordered_on("a")
+        assert table.ordered_on("a", "b")
+        assert not table.ordered_on("b")
+
+    def test_group_order_property(self):
+        table = Table.from_dict({"g": [1, 2, 1], "v": [1, 1, 2]})
+        table.add_group_order(("v",), "g")
+        assert table.props.group_ordered_on(("v",), "g")
+        assert not table.props.group_ordered_on(("v",), "v")
+
+    def test_describe_mentions_columns(self):
+        table = Table.from_dict({"iter": [1, 2]}, infer_props=True)
+        assert "iter" in table.describe()
+
+    def test_empty_table(self):
+        table = Table.empty(["iter", "pos", "item"])
+        assert table.row_count == 0
+        assert table.column_names == ("iter", "pos", "item")

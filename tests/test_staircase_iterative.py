@@ -1,0 +1,152 @@
+"""Plain staircase join: correctness against a naive oracle and the touch bound."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StaircaseJoinError
+from repro.staircase import (Axis, NodeTest, StaircaseStats, attribute_step,
+                             naive_axis, staircase_join,
+                             structural_join, structural_join_descendant_step)
+from repro.xml import DocumentStore, shred_document
+
+
+AXES = [Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF, Axis.PARENT,
+        Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF, Axis.FOLLOWING, Axis.PRECEDING,
+        Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING, Axis.SELF]
+
+
+def make_doc(xml: str):
+    return shred_document(xml, "doc.xml", DocumentStore())
+
+
+@pytest.fixture(scope="module")
+def paper_doc():
+    """The Figure 1-3 example tree a(b(c(d,e)), f(g, h(i,j)))."""
+    return make_doc("<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>")
+
+
+def name_to_pre(doc, name):
+    return doc.candidates_by_name(name)[0]
+
+
+class TestPaperExamples:
+    def test_figure1_ancestor_pruning(self, paper_doc):
+        """(c,e,f,i)/ancestor — covered context nodes are pruned, no duplicates."""
+        context = [name_to_pre(paper_doc, name) for name in "cefi"]
+        stats = StaircaseStats()
+        result = staircase_join(paper_doc, context, Axis.ANCESTOR, stats=stats)
+        expected = naive_axis(paper_doc, context, Axis.ANCESTOR)
+        assert result == expected
+        assert len(result) == len(set(result))
+        assert stats.contexts_pruned >= 1
+
+    def test_figure2_following_partitioning(self, paper_doc):
+        context = [name_to_pre(paper_doc, name) for name in "cgi"]
+        result = staircase_join(paper_doc, context, Axis.FOLLOWING)
+        assert result == naive_axis(paper_doc, context, Axis.FOLLOWING)
+
+    def test_figure3_descendant_skipping_bound(self, paper_doc):
+        """Descendant touches at most |result| + |context| document tuples."""
+        context = [name_to_pre(paper_doc, "c"), name_to_pre(paper_doc, "h")]
+        stats = StaircaseStats()
+        result = staircase_join(paper_doc, context, Axis.DESCENDANT, stats=stats)
+        assert result == naive_axis(paper_doc, context, Axis.DESCENDANT)
+        assert stats.nodes_scanned <= len(result) + len(context)
+
+    def test_child_axis_skips_subtrees(self, paper_doc):
+        a = name_to_pre(paper_doc, "a")
+        stats = StaircaseStats()
+        result = staircase_join(paper_doc, [a], Axis.CHILD, stats=stats)
+        names = [paper_doc.element_name(pre) for pre in result]
+        assert names == ["b", "f"]
+        # only the context node and its children (+1 skip probe each) touched
+        assert stats.nodes_scanned <= 1 + 2 * len(result) + 1
+
+    def test_name_test_filter(self, paper_doc):
+        a = name_to_pre(paper_doc, "a")
+        result = staircase_join(paper_doc, [a], Axis.DESCENDANT,
+                                NodeTest(kind="element", name="h"))
+        assert [paper_doc.element_name(pre) for pre in result] == ["h"]
+
+    def test_attribute_axis_raises(self, paper_doc):
+        with pytest.raises(StaircaseJoinError):
+            staircase_join(paper_doc, [0], Axis.ATTRIBUTE)
+
+    def test_empty_context(self, paper_doc):
+        assert staircase_join(paper_doc, [], Axis.DESCENDANT) == []
+
+    def test_duplicate_context_nodes_collapse(self, paper_doc):
+        c = name_to_pre(paper_doc, "c")
+        once = staircase_join(paper_doc, [c], Axis.DESCENDANT)
+        twice = staircase_join(paper_doc, [c, c, c], Axis.DESCENDANT)
+        assert once == twice
+
+
+class TestAttributes:
+    def test_attribute_step_by_name(self):
+        doc = make_doc('<a x="1"><b x="2" y="3"/></a>')
+        owners = [doc.attr_owner[index]
+                  for index in attribute_step(doc, [1, 2], "x")]
+        assert owners == [1, 2]
+
+    def test_attribute_step_wildcard(self):
+        doc = make_doc('<a x="1"><b x="2" y="3"/></a>')
+        assert len(attribute_step(doc, [2], None)) == 2
+
+    def test_attribute_step_unknown_name(self):
+        doc = make_doc('<a x="1"/>')
+        assert attribute_step(doc, [1], "nope") == []
+
+
+class TestStructuralJoinBaseline:
+    def test_structural_join_pairs(self, paper_doc):
+        a = name_to_pre(paper_doc, "a")
+        b = name_to_pre(paper_doc, "b")
+        pairs = structural_join(paper_doc, [a, b],
+                                list(range(paper_doc.node_count)))
+        for ancestor, descendant in pairs:
+            assert ancestor < descendant <= ancestor + paper_doc.size[ancestor]
+
+    def test_structural_join_step_matches_staircase(self, paper_doc):
+        context = [name_to_pre(paper_doc, "b"), name_to_pre(paper_doc, "f")]
+        assert structural_join_descendant_step(paper_doc, context) == \
+            staircase_join(paper_doc, context, Axis.DESCENDANT)
+
+
+# ---------------------------------------------------------------------------- #
+# randomized equivalence with the naive oracle over all axes
+# ---------------------------------------------------------------------------- #
+def _random_document(seed: int):
+    rng = random.Random(seed)
+
+    def subtree(depth):
+        name = rng.choice("abcd")
+        if depth > 3 or rng.random() < 0.3:
+            return f"<{name}/>"
+        children = "".join(subtree(depth + 1) for _ in range(rng.randint(1, 3)))
+        return f"<{name}>{children}</{name}>"
+
+    return make_doc(f"<root>{subtree(0)}{subtree(0)}</root>")
+
+
+@pytest.mark.parametrize("axis", AXES)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_staircase_matches_naive_oracle(axis, seed):
+    doc = _random_document(seed)
+    rng = random.Random(seed * 100 + 7)
+    context = rng.sample(range(doc.node_count), min(6, doc.node_count))
+    assert staircase_join(doc, context, axis) == naive_axis(doc, context, axis)
+
+
+@given(st.integers(0, 10_000), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_descendant_touch_bound_random(seed, context_size):
+    doc = _random_document(seed % 17)
+    rng = random.Random(seed)
+    context = rng.sample(range(doc.node_count), min(context_size, doc.node_count))
+    stats = StaircaseStats()
+    result = staircase_join(doc, context, Axis.DESCENDANT, stats=stats)
+    assert stats.nodes_scanned <= len(result) + len(context)
+    assert result == sorted(set(result))

@@ -1,0 +1,203 @@
+"""Page-wise updatable storage: swizzling, structural updates, delta ledger."""
+
+import pytest
+
+from repro.errors import StorageError, UpdateError
+from repro.storage import (PagedStructure, SizeDeltaLedger, TransactionManager,
+                           UpdatableDocument)
+from repro.xml import DocumentStore, serialize_subtree, shred_document
+
+
+def shred(xml, name="doc.xml"):
+    return shred_document(xml, name, DocumentStore())
+
+
+class TestPagedStructure:
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(StorageError):
+            PagedStructure(page_size=48)
+
+    def test_swizzle_roundtrip_after_splice(self):
+        pages = PagedStructure(page_size=8)
+        pages.append_page()
+        pages.append_page()
+        # splice a page between the two existing ones
+        pages.append_page(at_logical_position=1)
+        for pre in range(pages.pre_count):
+            assert pages.rid_to_pre(pages.pre_to_rid(pre)) == pre
+
+    def test_new_pages_are_appended_to_rid_table(self):
+        pages = PagedStructure(page_size=4)
+        pages.append_page()
+        first_count = pages.rid_count
+        pages.append_page(at_logical_position=0)
+        assert pages.rid_count == first_count + 4
+        # the spliced page is logically first but physically last
+        assert pages.page_map[0] == 1
+
+    def test_unused_tuples_record_free_run_length(self):
+        pages = PagedStructure(page_size=4)
+        pages.append_page()
+        pages.set(0, size=0, level=0, kind=1, name_id=0, value=None)
+        pages.compact_free_runs()
+        assert pages.is_unused(1)
+        assert pages.get(1)[0] == 2      # two more unused tuples follow
+
+    def test_out_of_range_pre_raises(self):
+        pages = PagedStructure(page_size=4)
+        pages.append_page()
+        with pytest.raises(StorageError):
+            pages.pre_to_rid(100)
+
+
+class TestUpdatableDocument:
+    def roundtrip(self, updatable, original):
+        return serialize_subtree(updatable.to_container(), 0) == \
+            serialize_subtree(original, 0)
+
+    def test_load_preserves_document(self):
+        doc = shred("<a><b>x</b><c><d/></c></a>")
+        updatable = UpdatableDocument.from_container(doc, page_size=8)
+        assert self.roundtrip(updatable, doc)
+
+    def test_insert_last_child(self):
+        doc = shred("<a><b/><c/></a>")
+        fragment = shred("<k><l/></k>", "frag.xml")
+        updatable = UpdatableDocument.from_container(doc, page_size=8)
+        updatable.insert_subtree(2, fragment, 1)        # under <b>
+        result = serialize_subtree(updatable.to_container(), 0)
+        assert result == "<a><b><k><l/></k></b><c/></a>"
+
+    def test_insert_first_child(self):
+        doc = shred("<a><b><x/></b></a>")
+        fragment = shred("<k/>", "frag.xml")
+        updatable = UpdatableDocument.from_container(doc, page_size=8)
+        updatable.insert_subtree(2, fragment, 1, as_first_child=True)
+        result = serialize_subtree(updatable.to_container(), 0)
+        assert result == "<a><b><k/><x/></b></a>"
+
+    def test_insert_updates_ancestor_sizes(self):
+        doc = shred("<a><b/><c/></a>")
+        fragment = shred("<k><l/><m/></k>", "frag.xml")
+        updatable = UpdatableDocument.from_container(doc, page_size=16)
+        updatable.insert_subtree(2, fragment, 1)
+        container = updatable.to_container()
+        # <a> now spans b, k, l, m, c
+        a_pre = 1
+        assert container.size[a_pre] == 5
+        assert container.size[0] == 6
+
+    def test_insert_keeps_structural_invariants(self):
+        doc = shred("<a><b><c/></b><d><e/><f/></d></a>")
+        fragment = shred("<x><y/><z/></x>", "frag.xml")
+        updatable = UpdatableDocument.from_container(doc, page_size=8,
+                                                     fill_factor=0.5)
+        updatable.insert_subtree(4, fragment, 1)        # under <d>
+        container = updatable.to_container()
+        total = container.node_count
+        for pre in range(total):
+            assert 0 <= container.size[pre] <= total - pre - 1
+            for descendant in container.descendants_pre(pre):
+                assert container.level[descendant] > container.level[pre]
+
+    def test_large_insert_appends_pages_only(self):
+        doc = shred("<a>" + "<b/>" * 10 + "</a>")
+        fragment = shred("<k>" + "<l/>" * 20 + "</k>", "frag.xml")
+        updatable = UpdatableDocument.from_container(doc, page_size=8)
+        pages_before = updatable.pages.page_count
+        updatable.insert_subtree(1, fragment, 1)
+        assert updatable.stats.pages_appended >= 1
+        assert updatable.pages.page_count > pages_before
+        assert updatable.node_count == doc.node_count + 21
+
+    def test_insert_touches_constant_pages(self):
+        """The paper's claim: an insert writes O(1) logical pages (plus the
+        volume of the inserted subtree itself)."""
+        doc = shred("<a>" + "<b><c/></b>" * 50 + "</a>")
+        fragment = shred("<k/>", "frag.xml")
+        updatable = UpdatableDocument.from_container(doc, page_size=16,
+                                                     fill_factor=0.75)
+        updatable.insert_subtree(5, fragment, 1)
+        assert updatable.stats.pages_touched <= 2
+
+    def test_delete_leaves_unused_tuples(self):
+        doc = shred("<a><b><c/><d/></b><e/></a>")
+        updatable = UpdatableDocument.from_container(doc, page_size=8)
+        before_rids = updatable.pages.rid_count
+        updatable.delete_subtree(2)                     # delete <b> subtree
+        assert serialize_subtree(updatable.to_container(), 0) == "<a><e/></a>"
+        assert updatable.pages.rid_count == before_rids  # nothing shifted
+        assert updatable.stats.tuples_marked_unused == 3
+
+    def test_delete_then_insert_reuses_space(self):
+        doc = shred("<a><b/><c/><d/></a>")
+        updatable = UpdatableDocument.from_container(doc, page_size=8)
+        updatable.delete_subtree(2)
+        fragment = shred("<n/>", "frag.xml")
+        updatable.insert_subtree(0, fragment, 1)
+        assert updatable.stats.pages_appended == 0
+
+    def test_value_update(self):
+        doc = shred("<a><b>old</b></a>")
+        updatable = UpdatableDocument.from_container(doc, page_size=8)
+        updatable.replace_value(3, "new")
+        assert serialize_subtree(updatable.to_container(), 0) == "<a><b>new</b></a>"
+
+    def test_value_update_on_element_raises(self):
+        doc = shred("<a><b>x</b></a>")
+        updatable = UpdatableDocument.from_container(doc, page_size=8)
+        with pytest.raises(UpdateError):
+            updatable.replace_value(1, "nope")
+
+    def test_set_and_delete_attribute(self):
+        doc = shred('<a><b x="1"/></a>')
+        updatable = UpdatableDocument.from_container(doc, page_size=8)
+        updatable.set_attribute(2, "x", "9")
+        updatable.set_attribute(2, "y", "2")
+        container = updatable.to_container()
+        assert serialize_subtree(container, 0) == '<a><b x="9" y="2"/></a>'
+        updatable.delete_attribute(2, "x")
+        assert serialize_subtree(updatable.to_container(), 0) == '<a><b y="2"/></a>'
+
+    def test_dense_pre_out_of_range(self):
+        doc = shred("<a/>")
+        updatable = UpdatableDocument.from_container(doc)
+        with pytest.raises(UpdateError):
+            updatable.dense_to_slot(99)
+
+
+class TestSizeDeltaLedger:
+    def test_commit_and_totals(self):
+        ledger = SizeDeltaLedger()
+        ledger.record(7, +3)
+        ledger.record(7, -1)
+        assert ledger.pending_delta(7) == 2
+        ledger.commit()
+        assert ledger.pending == []
+        assert ledger.total_committed_delta(7) == 2
+
+    def test_rollback_discards(self):
+        ledger = SizeDeltaLedger()
+        ledger.record(1, 5)
+        ledger.rollback()
+        assert ledger.pending_delta(1) == 0
+        assert ledger.total_committed_delta(1) == 0
+
+    def test_interleaved_transactions_converge(self):
+        """Two transactions updating the same ancestor's size commit in either
+        order without conflicting (the root-lock avoidance of Section 5.2)."""
+        manager = TransactionManager({0: 100})
+        manager.begin("t1")
+        manager.begin("t2")
+        manager.add_delta("t1", 0, +3)
+        manager.add_delta("t2", 0, -1)
+        manager.commit("t2")
+        manager.commit("t1")
+        assert manager.size(0) == 102
+
+    def test_transaction_rollback(self):
+        manager = TransactionManager({0: 10})
+        manager.begin("t1")
+        manager.add_delta("t1", 0, 5)
+        manager.rollback("t1")
+        assert manager.size(0) == 10

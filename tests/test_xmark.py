@@ -1,0 +1,96 @@
+"""XMark substrate: generator determinism/structure and the 20-query
+integration test cross-checked against the baseline interpreter."""
+
+import pytest
+
+from repro import MonetXQuery
+from repro.baselines import TreeWalkingInterpreter
+from repro.xmark import (JOIN_QUERIES, XMARK_QUERIES, XMarkGenerator,
+                         generate_document, make_engine, run_queries,
+                         xmark_query)
+from repro.xml.document import NodeRef
+from repro.xml.serializer import serialize_sequence
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        assert generate_document(0.0008, seed=3) == generate_document(0.0008, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert generate_document(0.0008, seed=3) != generate_document(0.0008, seed=4)
+
+    def test_scale_controls_size(self):
+        small = generate_document(0.0008, seed=1)
+        large = generate_document(0.004, seed=1)
+        assert len(large) > 2 * len(small)
+
+    def test_counts_follow_xmlgen_proportions(self):
+        counts = XMarkGenerator(0.01).counts
+        assert counts.persons > counts.open_auctions > counts.closed_auctions
+
+    def test_document_is_well_formed_and_queryable(self, xmark_engine):
+        doc = xmark_engine.store.get("auction.xml")
+        assert doc.node_count > 500
+        regions = xmark_engine.query("count(/site/regions/*)").items[0]
+        assert regions == 6
+
+    def test_cross_references_resolve(self, xmark_engine):
+        dangling = xmark_engine.query(
+            "count(for $t in /site/closed_auctions/closed_auction "
+            "      where empty(/site/people/person[@id = $t/buyer/@person]) "
+            "      return $t)").items[0]
+        assert dangling == 0
+
+    def test_deep_annotations_present_for_q15(self, xmark_engine):
+        keywords = xmark_engine.query(xmark_query(15)).items
+        assert len(keywords) > 0
+
+    def test_unknown_query_number(self):
+        with pytest.raises(KeyError):
+            xmark_query(21)
+
+
+def baseline_items(engine, query):
+    interpreter = TreeWalkingInterpreter(engine.store)
+    container = engine.store.get("auction.xml")
+    return interpreter.run(query, context_item=NodeRef(container, 0))
+
+
+@pytest.mark.parametrize("number", sorted(XMARK_QUERIES))
+def test_xmark_query_matches_baseline(xmark_engine, number):
+    """Every XMark query: the relational engine and the tree-walking
+    interpreter agree on the result (compared after serialization)."""
+    query = XMARK_QUERIES[number]
+    relational = xmark_engine.query(query)
+    baseline = baseline_items(xmark_engine, query)
+    assert len(relational.items) == len(baseline)
+    assert serialize_sequence(relational.items) == serialize_sequence(baseline)
+
+
+@pytest.mark.parametrize("number", JOIN_QUERIES)
+def test_join_queries_same_result_without_recognition(xmark_engine, number):
+    query = XMARK_QUERIES[number]
+    fast = xmark_engine.query(query)
+    slow = xmark_engine.query(
+        query, options=xmark_engine.options.replace(join_recognition=False))
+    assert serialize_sequence(fast.items) == serialize_sequence(slow.items)
+
+
+@pytest.mark.parametrize("number", [1, 2, 6, 7, 14, 15, 19])
+def test_step_heavy_queries_same_result_with_iterative_steps(xmark_engine, number):
+    query = XMARK_QUERIES[number]
+    lifted = xmark_engine.query(query)
+    iterative = xmark_engine.query(
+        query, options=xmark_engine.options.replace(
+            loop_lifted_child=False, loop_lifted_descendant=False,
+            loop_lifted_other=False, nametest_pushdown=False))
+    assert serialize_sequence(lifted.items) == serialize_sequence(iterative.items)
+
+
+class TestRunner:
+    def test_run_queries_collects_timings(self):
+        engine = make_engine(scale=0.0008, seed=5)
+        run = run_queries(engine, [1, 6, 17], scale=0.0008)
+        assert set(run.timings) == {1, 6, 17}
+        assert run.total_seconds() > 0
+        assert all(timing.seconds >= 0 for timing in run.timings.values())

@@ -1,0 +1,96 @@
+"""Unit tests for the dependency-free XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xml.parser import (Comment, EndElement, ProcessingInstruction,
+                              StartElement, Text, escape_attribute, escape_text,
+                              parse_events, unescape)
+
+
+def events(text):
+    return list(parse_events(text))
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        assert events("<a/>") == [StartElement("a", []), EndElement("a")]
+
+    def test_nested_elements_and_text(self):
+        parsed = events("<a><b>hi</b></a>")
+        assert parsed == [StartElement("a", []), StartElement("b", []),
+                          Text("hi"), EndElement("b"), EndElement("a")]
+
+    def test_attributes_single_and_double_quotes(self):
+        parsed = events("""<a x="1" y='two'/>""")
+        assert parsed[0] == StartElement("a", [("x", "1"), ("y", "two")])
+
+    def test_attribute_entities_resolved(self):
+        parsed = events('<a t="a&amp;b &lt;c&gt;"/>')
+        assert parsed[0].attributes == [("t", "a&b <c>")]
+
+    def test_comment_event(self):
+        parsed = events("<a><!-- note --></a>")
+        assert Comment(" note ") in parsed
+
+    def test_processing_instruction(self):
+        parsed = events("<a><?target data?></a>")
+        assert ProcessingInstruction("target", "data") in parsed
+
+    def test_xml_declaration_is_skipped(self):
+        parsed = events('<?xml version="1.0"?><a/>')
+        assert parsed == [StartElement("a", []), EndElement("a")]
+
+    def test_doctype_is_skipped(self):
+        parsed = events('<!DOCTYPE site SYSTEM "auction.dtd"><a/>')
+        assert parsed[0] == StartElement("a", [])
+
+    def test_cdata_becomes_text(self):
+        parsed = events("<a><![CDATA[1 < 2 & 3]]></a>")
+        assert Text("1 < 2 & 3") in parsed
+
+    def test_character_references(self):
+        parsed = events("<a>&#65;&#x42;</a>")
+        assert Text("AB") in parsed
+
+
+class TestErrors:
+    def test_mismatched_end_tag(self):
+        with pytest.raises(XMLParseError):
+            events("<a></b>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLParseError):
+            events("<a><b></b>")
+
+    def test_unknown_entity(self):
+        with pytest.raises(XMLParseError):
+            events("<a>&nope;</a>")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XMLParseError):
+            events("<a><!-- oops</a>")
+
+    def test_text_outside_document_element(self):
+        with pytest.raises(XMLParseError):
+            events("<a/>junk")
+
+    def test_unquoted_attribute(self):
+        with pytest.raises(XMLParseError):
+            events("<a x=1/>")
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            events("<a>\n<b></c></a>")
+        assert excinfo.value.line == 2
+
+
+class TestEscaping:
+    def test_unescape_roundtrip(self):
+        assert unescape(escape_text("a<b>&c")) == "a<b>&c"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_unescape_without_entities_is_identity(self):
+        assert unescape("plain text") == "plain text"

@@ -1,0 +1,82 @@
+"""Node construction into the transient container and serialization."""
+
+import pytest
+
+from repro.xml import DocumentStore, serialize_item, serialize_sequence, shred_document
+from repro.xml.document import DocumentContainer, NodeKind, NodeRef
+from repro.xquery.constructors import construct_element, construct_text
+
+
+@pytest.fixture
+def transient():
+    return DocumentContainer("(transient)", order_key=99, transient=True)
+
+
+@pytest.fixture
+def source_doc():
+    return shred_document("<a><b x='1'>hi</b><c/></a>", "src.xml", DocumentStore())
+
+
+class TestConstructElement:
+    def test_empty_element(self, transient):
+        node = construct_element(transient, "empty", [], [])
+        assert serialize_item(node) == "<empty/>"
+
+    def test_attributes(self, transient):
+        node = construct_element(transient, "e", [("a", "1"), ("b", "x & y")], [])
+        assert serialize_item(node) == '<e a="1" b="x &amp; y"/>'
+
+    def test_atomic_content_merges_with_spaces(self, transient):
+        node = construct_element(transient, "e", [], [1, 2, "three"])
+        assert serialize_item(node) == "<e>1 2 three</e>"
+
+    def test_node_content_copies_subtree(self, transient, source_doc):
+        b = source_doc.candidates_by_name("b")[0]
+        node = construct_element(transient, "wrap", [], [NodeRef(source_doc, b)])
+        assert serialize_item(node) == '<wrap><b x="1">hi</b></wrap>'
+
+    def test_document_node_content_copies_children(self, transient, source_doc):
+        node = construct_element(transient, "copy", [], [NodeRef(source_doc, 0)])
+        assert serialize_item(node) == '<copy><a><b x="1">hi</b><c/></a></copy>'
+
+    def test_attribute_node_content_becomes_attribute(self, transient, source_doc):
+        attr = source_doc.attribute(0)
+        node = construct_element(transient, "e", [], [attr])
+        assert serialize_item(node) == '<e x="1"/>'
+
+    def test_mixed_content_order_preserved(self, transient, source_doc):
+        c = source_doc.candidates_by_name("c")[0]
+        node = construct_element(transient, "e", [],
+                                 ["before", NodeRef(source_doc, c), "after"])
+        assert serialize_item(node) == "<e>before<c/>after</e>"
+
+    def test_constructed_nodes_are_separate_fragments(self, transient):
+        first = construct_element(transient, "a", [], [])
+        second = construct_element(transient, "b", [], [])
+        assert transient.frag[first.pre] != transient.frag[second.pre]
+        assert first < second          # document order by construction order
+
+    def test_size_covers_content(self, transient, source_doc):
+        b = source_doc.candidates_by_name("b")[0]
+        node = construct_element(transient, "w", [], [NodeRef(source_doc, b), "x"])
+        assert transient.size[node.pre] == 3    # b, text(hi), text(x)
+
+
+class TestConstructText:
+    def test_text_node(self, transient):
+        node = construct_text(transient, "hello")
+        assert node.kind == NodeKind.TEXT
+        assert serialize_item(node) == "hello"
+
+
+class TestSerializeSequence:
+    def test_atomics_separated_by_space(self):
+        assert serialize_sequence([1, 2, "x"]) == "1 2 x"
+
+    def test_nodes_not_separated(self, transient):
+        first = construct_element(transient, "a", [], [])
+        second = construct_element(transient, "b", [], [])
+        assert serialize_sequence([first, second, 7]) == "<a/><b/>7"
+
+    def test_booleans_and_floats(self):
+        assert serialize_sequence([True, False, 2.0, 2.5]) == "true false 2 2.5"

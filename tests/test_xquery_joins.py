@@ -1,0 +1,111 @@
+"""Existential comparison / join strategies (Section 4.2, Figure 8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import capture
+from repro.xquery.joins import (existential_compare, existential_join,
+                                flip_comparison)
+
+
+class TestExistentialJoin:
+    def test_figure8a_eq_with_duplicate_elimination(self):
+        """The example of Figure 8(a): duplicates collapse to unique pairs."""
+        left = [(1, 20), (2, 30), (2, 20)]
+        right = [(1, 20), (1, 20), (2, 10), (2, 30)]
+        pairs = existential_join(left, right, "eq", strategy="dedup")
+        assert pairs == [(1, 1), (2, 1), (2, 2)]
+
+    def test_figure8b_lt_with_minmax_aggregation(self):
+        """The example of Figure 8(b): the aggregate plan gives unique pairs."""
+        left = [(1, 5), (2, 20), (2, 15)]
+        right = [(1, 1), (1, 10), (2, 25), (2, 30)]
+        pairs = existential_join(left, right, "lt", strategy="aggregate")
+        assert pairs == [(1, 1), (1, 2), (2, 2)]
+
+    def test_aggregate_and_dedup_strategies_agree(self):
+        left = [(i, value) for i in range(1, 5) for value in (i, i * 3)]
+        right = [(j, value) for j in range(1, 4) for value in (j * 2, j + 1)]
+        for op in ("lt", "le", "gt", "ge"):
+            dedup = existential_join(left, right, op, strategy="dedup")
+            aggregate = existential_join(left, right, op, strategy="aggregate")
+            assert dedup == aggregate, op
+
+    def test_eq_falls_back_to_dedup_even_when_aggregate_requested(self):
+        left = [(1, "a")]
+        right = [(1, "a"), (1, "a")]
+        assert existential_join(left, right, "eq", strategy="aggregate") == [(1, 1)]
+
+    def test_string_values_compare_as_strings(self):
+        pairs = existential_join([(1, "person0")], [(7, "person0"), (8, "other")], "eq")
+        assert pairs == [(1, 7)]
+
+    def test_numeric_promotion_of_untyped_values(self):
+        pairs = existential_join([(1, "42")], [(1, 42.0)], "eq")
+        assert pairs == [(1, 1)]
+
+    def test_empty_inputs(self):
+        assert existential_join([], [(1, 1)], "eq") == []
+        assert existential_join([(1, 1)], [], "lt") == []
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            existential_join([(1, 1)], [(1, 1)], "eq", strategy="quantum")
+
+    def test_records_algorithm_in_trace(self):
+        with capture() as trace:
+            existential_join([(1, 1)], [(1, 2)], "lt", strategy="aggregate")
+            existential_join([(1, 1)], [(1, 1)], "eq")
+        assert trace.count("existential.aggregate") == 1
+        assert trace.count("existential.dedup") == 1
+
+
+class TestExistentialCompare:
+    def test_true_only_when_any_pair_matches(self):
+        left = {1: [1, 2], 2: [5]}
+        right = {1: [3], 2: [1]}
+        assert existential_compare(left, right, "lt") == {1}
+
+    def test_empty_operand_is_false(self):
+        assert existential_compare({1: []}, {1: [1]}, "eq") == set()
+        assert existential_compare({1: [1]}, {}, "eq") == set()
+
+    def test_eq_over_strings(self):
+        left = {1: ["person0"], 2: ["person1"]}
+        right = {1: ["person9"], 2: ["person1"]}
+        assert existential_compare(left, right, "eq") == {2}
+
+    def test_ne_with_multiple_values(self):
+        assert existential_compare({1: [1, 1]}, {1: [1]}, "ne") == set()
+        assert existential_compare({1: [1, 2]}, {1: [1]}, "ne") == {1}
+
+    def test_strategies_agree(self):
+        left = {i: [i, i + 2] for i in range(5)}
+        right = {i: [i + 1] for i in range(5)}
+        for op in ("lt", "le", "gt", "ge", "eq", "ne"):
+            assert existential_compare(left, right, op, strategy="dedup") == \
+                existential_compare(left, right, op, strategy="auto"), op
+
+
+class TestFlip:
+    def test_flip_comparison(self):
+        assert flip_comparison("lt") == "gt"
+        assert flip_comparison("ge") == "le"
+        assert flip_comparison("eq") == "eq"
+
+
+@given(
+    st.lists(st.tuples(st.integers(1, 4), st.integers(-5, 5)), max_size=25),
+    st.lists(st.tuples(st.integers(1, 4), st.integers(-5, 5)), max_size=25),
+    st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_existential_join_matches_bruteforce(left, right, op):
+    """Both strategies equal the brute-force definition of existential joins."""
+    import operator
+    compare = {"eq": operator.eq, "ne": operator.ne, "lt": operator.lt,
+               "le": operator.le, "gt": operator.gt, "ge": operator.ge}[op]
+    expected = sorted({(lg, rg) for lg, lv in left for rg, rv in right
+                       if compare(lv, rv)})
+    assert existential_join(left, right, op, strategy="dedup") == expected
+    assert existential_join(left, right, op, strategy="auto") == expected

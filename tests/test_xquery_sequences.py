@@ -1,0 +1,129 @@
+"""The iter|pos|item plumbing: loop lifting, scope maps, back-mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import capture
+from repro.xquery.sequences import (back_map, for_binding, lift_constant,
+                                    lift_environment, lift_items, make_loop,
+                                    restrict_sequence, sequence_table,
+                                    singleton_per_iter, unit_loop)
+
+
+class TestLifting:
+    def test_lift_constant(self):
+        table = lift_constant(make_loop([1, 2, 3]), 42)
+        assert table.to_rows(["iter", "pos", "item"]) == [
+            (1, 1, 42), (2, 1, 42), (3, 1, 42)]
+
+    def test_lift_items_repeats_sequence_per_iteration(self):
+        table = lift_items(make_loop([1, 2]), ["a", "b"])
+        assert table.to_rows(["iter", "pos", "item"]) == [
+            (1, 1, "a"), (1, 2, "b"), (2, 1, "a"), (2, 2, "b")]
+
+    def test_unit_loop(self):
+        assert unit_loop().col("iter") == [1]
+
+    def test_singleton_per_iter_skips_missing(self):
+        table = singleton_per_iter(make_loop([1, 2, 3]), {1: "x", 3: "z"})
+        assert table.to_rows(["iter", "item"]) == [(1, "x"), (3, "z")]
+
+
+class TestForBinding:
+    def test_paper_example(self):
+        """for $v in (x1..xn): the scope map and variable representation."""
+        sequence = sequence_table([(1, 1, "x1"), (1, 2, "x2"), (1, 3, "x3")])
+        scope_map, inner_loop, variable, positions = for_binding(sequence)
+        assert scope_map.to_rows(["outer", "inner"]) == [(1, 1), (1, 2), (1, 3)]
+        assert inner_loop.col("iter") == [1, 2, 3]
+        assert variable.to_rows(["iter", "pos", "item"]) == [
+            (1, 1, "x1"), (2, 1, "x2"), (3, 1, "x3")]
+        assert positions.col("item") == [1, 2, 3]
+
+    def test_nested_iteration_cartesian_size(self):
+        """Lifting (y1,y2) over an outer loop of 3 iterations gives 6 tuples."""
+        outer = make_loop([1, 2, 3])
+        inner_sequence = lift_items(outer, ["y1", "y2"])
+        scope_map, inner_loop, variable, _ = for_binding(inner_sequence)
+        assert inner_loop.row_count == 6
+        assert variable.col("item") == ["y1", "y2"] * 3
+
+    def test_environment_lifting(self):
+        outer = make_loop([1, 2])
+        env = {"w": sequence_table([(1, 1, "a"), (2, 1, "b"), (2, 2, "c")])}
+        sequence = lift_items(outer, [10, 20])
+        scope_map, inner_loop, _, _ = for_binding(sequence)
+        lifted = lift_environment(env, scope_map)["w"]
+        # outer iteration 2 (holding "b","c") maps to inner iterations 3 and 4
+        assert lifted.to_rows(["iter", "item"]) == [
+            (1, "a"), (2, "a"), (3, "b"), (3, "c"), (4, "b"), (4, "c")]
+
+    def test_for_binding_empty_sequence(self):
+        scope_map, inner_loop, variable, _ = for_binding(sequence_table([]))
+        assert inner_loop.row_count == 0
+        assert variable.row_count == 0
+
+
+class TestBackMap:
+    def test_back_map_concatenates_in_iteration_order(self):
+        sequence = sequence_table([(1, 1, "a"), (1, 2, "b"), (2, 1, "c")])
+        scope_map, inner_loop, variable, _ = for_binding(sequence)
+        # body: inner iteration i returns its item twice
+        body = sequence_table([
+            (1, 1, "a"), (1, 2, "a"),
+            (2, 1, "b"), (2, 2, "b"),
+            (3, 1, "c"), (3, 2, "c"),
+        ])
+        result = back_map(scope_map, body)
+        assert result.to_rows(["iter", "pos", "item"]) == [
+            (1, 1, "a"), (1, 2, "a"), (1, 3, "b"), (1, 4, "b"),
+            (2, 1, "c"), (2, 2, "c")]
+
+    def test_back_map_drops_filtered_inner_iterations(self):
+        sequence = sequence_table([(1, 1, "a"), (1, 2, "b")])
+        scope_map, _, _, _ = for_binding(sequence)
+        body = sequence_table([(2, 1, "only-second")])
+        result = back_map(scope_map, body)
+        assert result.to_rows(["iter", "pos", "item"]) == [(1, 1, "only-second")]
+
+    def test_back_map_with_order_keys(self):
+        from repro.relational import Table
+        sequence = sequence_table([(1, 1, "a"), (1, 2, "b"), (1, 3, "c")])
+        scope_map, inner_loop, variable, _ = for_binding(sequence)
+        body = variable
+        order_keys = Table.from_dict({"iter": [1, 2, 3], "okey": [3, 1, 2]},
+                                     order=("iter",))
+        result = back_map(scope_map, body, order_keys=order_keys)
+        assert result.col("item") == ["b", "c", "a"]
+
+    def test_back_map_skips_sort_with_properties(self):
+        sequence = sequence_table([(1, 1, "a"), (2, 1, "b")])
+        scope_map, _, variable, _ = for_binding(sequence)
+        with capture() as trace:
+            back_map(scope_map, variable, use_properties=True)
+        assert trace.count("sort.full") == 0
+        with capture() as trace:
+            back_map(scope_map, variable, use_properties=False)
+        assert trace.count("sort.full") >= 1
+
+
+class TestRestrict:
+    def test_restrict_sequence(self):
+        table = sequence_table([(1, 1, "a"), (2, 1, "b"), (3, 1, "c")])
+        assert restrict_sequence(table, [1, 3]).col("item") == ["a", "c"]
+
+
+@given(st.lists(st.integers(1, 4), min_size=0, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_for_binding_roundtrip_property(iterations):
+    """back_map(scope_map, variable) reproduces the original bound sequence."""
+    iterations = sorted(iterations)
+    rows = []
+    positions = {}
+    for iteration in iterations:
+        positions[iteration] = positions.get(iteration, 0) + 1
+        rows.append((iteration, positions[iteration], f"v{iteration}.{positions[iteration]}"))
+    sequence = sequence_table(rows)
+    scope_map, inner_loop, variable, _ = for_binding(sequence)
+    result = back_map(scope_map, variable)
+    assert result.to_rows(["iter", "pos", "item"]) == rows

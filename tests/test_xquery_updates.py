@@ -1,0 +1,91 @@
+"""XML updates through the engine-level XMLUpdater (Section 5.2)."""
+
+import pytest
+
+from repro import MonetXQuery, XMLUpdater
+from repro.errors import UpdateError
+
+
+@pytest.fixture
+def update_engine():
+    mxq = MonetXQuery()
+    mxq.load_document_text(
+        "<site><people>"
+        '<person id="p0"><name>Alice</name></person>'
+        '<person id="p1"><name>Bob</name></person>'
+        "</people><items><item id='i0'><name>watch</name></item></items></site>",
+        name="doc.xml")
+    return mxq
+
+
+class TestXMLUpdater:
+    def test_select_targets_with_xquery(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml")
+        targets = updater.select('/site/people/person[@id = "p1"]')
+        assert len(targets) == 1
+
+    def test_select_rejects_atomic_results(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml")
+        with pytest.raises(UpdateError):
+            updater.select("count(//person)")
+
+    def test_insert_last_and_commit(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml")
+        target = updater.select("/site/people")[0]
+        updater.insert_last(target, '<person id="p2"><name>Carol</name></person>')
+        updater.commit()
+        assert update_engine.query("count(//person)").items == [3]
+        assert update_engine.query(
+            '/site/people/person[@id = "p2"]/name/text()').strings() == ["Carol"]
+
+    def test_insert_first_position(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml")
+        target = updater.select("/site/people")[0]
+        updater.insert_first(target, '<person id="new"/>')
+        updater.commit()
+        first = update_engine.query("/site/people/person[1]/@id").atomized()
+        assert first == ["new"]
+
+    def test_delete_subtree(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml")
+        target = updater.select('/site/people/person[@id = "p0"]')[0]
+        updater.delete(target)
+        updater.commit()
+        assert update_engine.query("count(//person)").items == [1]
+        assert update_engine.query("//person/@id").atomized() == ["p1"]
+
+    def test_replace_text_value(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml")
+        target = updater.select("/site/items/item/name/text()")[0]
+        updater.replace_value(target, "clock")
+        updater.commit()
+        assert update_engine.query("//item/name/text()").strings() == ["clock"]
+
+    def test_set_attribute(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml")
+        target = updater.select("/site/items/item")[0]
+        updater.set_attribute(target, "featured", "yes")
+        updater.commit()
+        assert update_engine.query("//item/@featured").atomized() == ["yes"]
+
+    def test_queries_before_commit_see_old_state(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml")
+        target = updater.select("/site/people")[0]
+        updater.insert_last(target, "<person id='px'/>")
+        assert update_engine.query("count(//person)").items == [2]
+        updater.commit()
+        assert update_engine.query("count(//person)").items == [3]
+
+    def test_multiple_updates_accumulate(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml")
+        people = updater.select("/site/people")[0]
+        updater.insert_last(people, "<person id='a'/>")
+        updater.insert_last(people, "<person id='b'/>")
+        updater.commit()
+        assert update_engine.query("count(//person)").items == [4]
+
+    def test_insert_cost_is_page_local(self, update_engine):
+        updater = XMLUpdater(update_engine, "doc.xml", page_size=16)
+        target = updater.select("/site/items")[0]
+        stats = updater.insert_last(target, "<item id='i1'/>")
+        assert stats.pages_touched <= 2
