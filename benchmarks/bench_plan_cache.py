@@ -1,0 +1,44 @@
+"""Prepared-plan cache — repeated-query throughput.
+
+The north-star workload is heavy *repeated* traffic: the same XMark query
+texts arriving over and over.  With the plan cache every repetition skips
+parse → plan → rewrite and goes straight to execution; with the cache
+disabled (capacity 0) the whole front-end runs each time.  Expected shape:
+the cached configuration wins by the full compile-time share of the query,
+most visibly on the short selective queries (Q1).
+"""
+
+import pytest
+
+from repro import MonetXQuery
+from repro.xmark import XMARK_QUERIES, generate_document
+
+from .conftest import BASE_SCALE, SEED
+
+
+REPEATS = 20
+
+
+@pytest.mark.parametrize("mode", ["cached", "uncached"])
+@pytest.mark.parametrize("query", [1, 5, 8])
+def test_plan_cache_repeated_queries(benchmark, mode, query):
+    engine = MonetXQuery(plan_cache_size=64 if mode == "cached" else 0)
+    engine.load_document_text(generate_document(BASE_SCALE, SEED),
+                              name="auction.xml")
+    text = XMARK_QUERIES[query]
+
+    def run():
+        total = 0
+        for _ in range(REPEATS):
+            engine.reset_transient()
+            total += len(engine.query(text))
+        return total
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["figure"] = "plan-cache"
+    benchmark.extra_info["query"] = f"Q{query}"
+    benchmark.extra_info["config"] = mode
+    benchmark.extra_info["repeats"] = REPEATS
+    benchmark.extra_info["result_size"] = result
+    if mode == "cached":
+        assert engine.plan_cache_stats.hits == REPEATS - 1

@@ -19,7 +19,8 @@ Quickstart::
 from .errors import (ReproError, RelationalError, StorageError, XMLError,
                      XQueryError, XQuerySyntaxError, XQueryTypeError,
                      XQueryUnsupportedError)
-from .xquery.engine import EngineOptions, MonetXQuery, QueryResult
+from .xquery.engine import (EngineOptions, MonetXQuery, PlanCacheStats,
+                            PreparedQuery, QueryResult)
 from .xquery.updates import XMLUpdater
 
 __version__ = "0.1.0"
@@ -27,6 +28,8 @@ __version__ = "0.1.0"
 __all__ = [
     "EngineOptions",
     "MonetXQuery",
+    "PlanCacheStats",
+    "PreparedQuery",
     "QueryResult",
     "ReproError",
     "RelationalError",

@@ -17,7 +17,9 @@ The subpackage provides:
 
 from .column import Column
 from .explain import Trace, capture
+from .plan import PlanBuilder, PlanNode, count_references, render_plan
 from .properties import ColumnProps, GroupOrder, TableProps
+from .rewrites import OptimizedModulePlan, RewriteReport, optimize
 from .table import Table
 from . import operators, positional, sorting
 
@@ -25,11 +27,18 @@ __all__ = [
     "Column",
     "ColumnProps",
     "GroupOrder",
+    "OptimizedModulePlan",
+    "PlanBuilder",
+    "PlanNode",
+    "RewriteReport",
     "Table",
     "TableProps",
     "Trace",
     "capture",
+    "count_references",
     "operators",
+    "optimize",
     "positional",
+    "render_plan",
     "sorting",
 ]

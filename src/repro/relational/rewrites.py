@@ -1,0 +1,540 @@
+"""The logical-plan rewrite optimizer.
+
+Pathfinder rewrites its relational DAG before emitting physical algebra;
+this module is the equivalent pass over the logical plans built by
+:mod:`repro.xquery.planner`.  Three rewrite families run here:
+
+* **join recognition** (Section 4.1, the ``indep`` property) — relocated
+  from the ad-hoc runtime check the compiler used to perform: a ``for``
+  clause whose binding sequence is *loop-invariant* (its free variables
+  are disjoint from the enclosing bindings) paired with an existential
+  comparison in the ``where`` clause is annotated as a value join.  The
+  executor then evaluates the binding sequence once and theta-joins it
+  against the outer loop instead of building a lifted Cartesian product,
+* **projection pushdown / dead-column pruning** — a required-columns
+  analysis over the ``iter|pos|item`` encoding: contexts that ignore
+  sequence order and positions (aggregates such as ``count``, existential
+  comparisons, ``where`` conditions, quantifiers) propagate a reduced
+  column requirement downward, letting the executor skip the sorts and
+  ``rownum`` renumberings that only exist to maintain ``pos``,
+* **common-subexpression sharing** — plans are hash-consed DAGs, so
+  repeated subexpressions are already *structurally* shared; this pass
+  marks the shared, side-effect-free nodes so the executor can memoise
+  their result per (loop, environment) and execute them once.
+
+All analyses are side tables keyed by ``PlanNode.id``; only join
+recognition rebuilds plan nodes (adding the ``join`` annotation), which is
+why it runs first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from .plan import PlanBuilder, PlanNode, count_references, render_plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..xquery.planner import ModulePlan
+
+
+FULL_COLUMNS = frozenset({"iter", "pos", "item"})
+NO_POS = frozenset({"iter", "item"})
+ITER_ONLY = frozenset({"iter"})
+
+#: pseudo-variables threaded through the environment rather than bound by
+#: user code: the context item and the dynamic position()/last() registers
+PSEUDO_VARIABLES = frozenset({".", "fs:position", "fs:last"})
+
+#: builtins whose result ignores the order and positions of the argument
+#: sequence entirely (pure per-iteration folds)
+_ORDER_FREE_AGGREGATES = frozenset({
+    "count", "exists", "empty", "sum", "avg", "min", "max", "distinct-values",
+})
+
+#: builtins that only inspect the *first* item of each iteration — safe
+#: under pruning because the executor's skips preserve within-iteration
+#: scan order
+_FIRST_ITEM_FUNCTIONS = frozenset({
+    "string", "number", "data", "boolean", "not", "string-length",
+    "contains", "starts-with", "ends-with", "upper-case", "lower-case",
+    "normalize-space", "name", "local-name", "root", "floor", "ceiling",
+    "round", "abs",
+})
+
+#: node kinds too cheap to be worth memoising even when shared
+_TRIVIAL_KINDS = frozenset({
+    "const", "empty", "var", "context", "root", "for", "let", "orderspec",
+    "avt",
+})
+
+
+def _strip_fn(name: str) -> str:
+    return name[3:] if name.startswith("fn:") else name
+
+
+@dataclass
+class RewriteReport:
+    """Which rewrite rules fired, with human-readable details."""
+
+    entries: list[tuple[str, str]] = field(default_factory=list)
+
+    def fire(self, rule: str, detail: str) -> None:
+        self.entries.append((rule, detail))
+
+    def fired(self, rule: str) -> list[str]:
+        return [detail for name, detail in self.entries if name == rule]
+
+    def render(self) -> str:
+        if not self.entries:
+            return "rewrites: none fired"
+        lines = ["rewrites:"]
+        lines.extend(f"  {rule}: {detail}" for rule, detail in self.entries)
+        return "\n".join(lines)
+
+
+class FreeVariables:
+    """Binding-aware free-variable sets per plan node (memoised on demand).
+
+    The sets include the pseudo-variables of :data:`PSEUDO_VARIABLES` so
+    that the executor's CSE memoisation can fingerprint exactly the
+    environment entries a subplan depends on.
+    """
+
+    def __init__(self, user_functions: Iterable[str] = ()):
+        self._memo: dict[int, frozenset[str]] = {}
+        self._user_functions = {_strip_fn(name) for name in user_functions}
+
+    def __call__(self, node: PlanNode) -> frozenset[str]:
+        cached = self._memo.get(node.id)
+        if cached is not None:
+            return cached
+        result = self._compute(node)
+        self._memo[node.id] = result
+        return result
+
+    def _compute(self, node: PlanNode) -> frozenset[str]:
+        kind = node.kind
+        if kind == "var":
+            return frozenset({node.p("name")})
+        if kind in ("context", "root"):
+            return frozenset({"."})
+        if kind == "call":
+            name = _strip_fn(node.p("name"))
+            free: set[str] = set()
+            for child in node.children:
+                free |= self(child)
+            if name not in self._user_functions:
+                if name == "position" and not node.children:
+                    free.add("fs:position")
+                elif name == "last" and not node.children:
+                    free.add("fs:last")
+                elif name in ("string", "data", "number", "name",
+                              "local-name") and not node.children:
+                    free.add(".")   # implicit context-item argument
+            return frozenset(free)
+        if kind == "flwor":
+            nclauses = node.p("nclauses")
+            free: set[str] = set()
+            bound: set[str] = set()
+            for clause in node.children[:nclauses]:
+                free |= self(clause.children[0]) - bound
+                bound.add(clause.p("var"))
+                if clause.kind == "for" and clause.p("posvar"):
+                    bound.add(clause.p("posvar"))
+            for child in node.children[nclauses:]:
+                free |= self(child) - bound
+            return frozenset(free)
+        if kind == "quantified":
+            variables = node.p("variables")
+            free = set()
+            bound = set()
+            for variable, sequence in zip(variables, node.children[:-1]):
+                free |= self(sequence) - bound
+                bound.add(variable)
+            free |= self(node.children[-1]) - bound
+            return frozenset(free)
+        if kind == "orderspec":
+            return self(node.children[0])
+        free = set()
+        for child in node.children:
+            free |= self(child)
+        return frozenset(free)
+
+
+class _PurityAnalysis:
+    """Side-effect analysis: node constructors create fresh node identities
+    every time they run, so subtrees containing them must never be shared
+    at execution time."""
+
+    def __init__(self, functions: dict[str, "Any"]):
+        self._functions = {_strip_fn(name): planned
+                           for name, planned in functions.items()}
+        self._memo: dict[int, bool] = {}
+        self._in_progress: set[str] = set()
+
+    def impure(self, node: PlanNode) -> bool:
+        cached = self._memo.get(node.id)
+        if cached is not None:
+            return cached
+        result = self._compute(node)
+        self._memo[node.id] = result
+        return result
+
+    def _compute(self, node: PlanNode) -> bool:
+        if node.kind in ("elem", "text"):
+            return True
+        if node.kind == "call":
+            name = _strip_fn(node.p("name"))
+            planned = self._functions.get(name)
+            if planned is not None:
+                if name in self._in_progress:    # recursive: be conservative
+                    return True
+                self._in_progress.add(name)
+                try:
+                    if self.impure(planned.body):
+                        return True
+                finally:
+                    self._in_progress.discard(name)
+        return any(self.impure(child) for child in node.children)
+
+
+@dataclass
+class OptimizedModulePlan:
+    """The rewritten plans of a module plus all executor-facing analyses."""
+
+    body: PlanNode
+    globals: list[tuple[str, PlanNode]]
+    functions: dict[str, Any]               # name -> PlannedFunction
+    cols: dict[int, frozenset[str]]
+    shared: frozenset[int]
+    impure: frozenset[int]
+    free: FreeVariables
+    report: RewriteReport
+
+    def required_columns(self, node: PlanNode) -> frozenset[str]:
+        return self.cols.get(node.id, FULL_COLUMNS)
+
+    def is_shared(self, node: PlanNode) -> bool:
+        return node.id in self.shared
+
+    def is_pure(self, node: PlanNode) -> bool:
+        return node.id not in self.impure
+
+    def roots(self) -> list[PlanNode]:
+        roots = [self.body]
+        roots.extend(plan for _, plan in self.globals)
+        roots.extend(function.body for function in self.functions.values())
+        return roots
+
+    def render(self) -> str:
+        """The full plan dump: body, globals, functions, fired rewrites."""
+        def annotate(node: PlanNode) -> str:
+            notes = []
+            required = self.cols.get(node.id)
+            if required is not None and required != FULL_COLUMNS:
+                notes.append(
+                    "cols=[" + ",".join(
+                        name for name in ("iter", "pos", "item")
+                        if name in required) + "]")
+            if node.id in self.shared:
+                notes.append("(shared)")
+            if node.kind == "flwor" and node.p("join") is not None:
+                clause_index, conjunct_index, v_side = node.p("join")
+                notes.append(
+                    f"join-recognized[clause={clause_index},"
+                    f"conjunct={conjunct_index},side={v_side}]")
+            return " ".join(notes)
+
+        sections = []
+        for name, plan in self.globals:
+            sections.append(f"declare variable ${name} :=")
+            sections.append(render_plan(plan, shared=self.shared,
+                                        annotate=annotate, indent="  "))
+        for function in self.functions.values():
+            sections.append(
+                f"declare function {function.name}"
+                f"({', '.join('$' + p for p in function.parameters)}) :=")
+            sections.append(render_plan(function.body, shared=self.shared,
+                                        annotate=annotate, indent="  "))
+        sections.append(render_plan(self.body, shared=self.shared,
+                                    annotate=annotate))
+        sections.append(self.report.render())
+        return "\n".join(sections)
+
+
+def optimize(module_plan: "ModulePlan", options: Any = None) -> OptimizedModulePlan:
+    """Run the rewrite pipeline over a module's logical plans.
+
+    ``options`` is the engine's :class:`~repro.xquery.engine.EngineOptions`
+    (or any object with ``join_recognition``, ``projection_pushdown`` and
+    ``subplan_sharing`` attributes); ``None`` enables every rewrite.
+    """
+    join_recognition = getattr(options, "join_recognition", True)
+    projection_pushdown = getattr(options, "projection_pushdown", True)
+    subplan_sharing = getattr(options, "subplan_sharing", True)
+
+    report = RewriteReport()
+    free = FreeVariables(module_plan.functions)
+
+    # 1. join recognition (rebuilds flwor nodes, so it runs first)
+    body = module_plan.body
+    globals_ = list(module_plan.globals)
+    functions = dict(module_plan.functions)
+    if join_recognition:
+        rule = _JoinRecognition(module_plan.builder, free,
+                                module_plan.global_names, report)
+        body = rule.rewrite(body, frozenset())
+        globals_ = [(name, rule.rewrite(plan, frozenset()))
+                    for name, plan in globals_]
+        rebuilt_functions = {}
+        for name, planned in functions.items():
+            new_body = rule.rewrite(planned.body, frozenset(planned.parameters))
+            if new_body is not planned.body:
+                planned = type(planned)(planned.name, planned.parameters,
+                                        new_body)
+            rebuilt_functions[name] = planned
+        functions = rebuilt_functions
+        # free-variable sets of rebuilt nodes are recomputed lazily
+        free = FreeVariables(functions)
+
+    roots = [body] + [plan for _, plan in globals_] \
+        + [planned.body for planned in functions.values()]
+
+    # 2. projection pushdown / dead-column pruning (required-columns pass)
+    cols: dict[int, frozenset[str]] = {}
+    if projection_pushdown:
+        cols = _required_columns(roots, functions)
+        pruned = sum(1 for required in cols.values()
+                     if required != FULL_COLUMNS)
+        if pruned:
+            report.fire("projection-pushdown",
+                        f"{pruned} operators need no pos column")
+
+    # 3. common-subplan sharing (mark hash-consed nodes safe to memoise)
+    purity = _PurityAnalysis(functions)
+    impure = frozenset(node.id for root in roots for node in root.walk()
+                       if purity.impure(node))
+    shared: frozenset[int] = frozenset()
+    if subplan_sharing:
+        references = count_references(roots)
+        shared = frozenset(
+            node.id for root in roots for node in root.walk()
+            if references.get(node.id, 0) > 1
+            and node.kind not in _TRIVIAL_KINDS
+            and node.id not in impure)
+        if shared:
+            report.fire("common-subexpressions",
+                        f"{len(shared)} shared subplans will execute once")
+
+    return OptimizedModulePlan(body=body, globals=globals_,
+                               functions=functions, cols=cols,
+                               shared=shared, impure=impure, free=free,
+                               report=report)
+
+
+# --------------------------------------------------------------------------- #
+# join recognition
+# --------------------------------------------------------------------------- #
+class _JoinRecognition:
+    """Annotate FLWOR nodes whose for-clause + where-conjunct pair forms a
+    loop-invariant value join (the paper's ``indep``-driven rewrite)."""
+
+    def __init__(self, builder: PlanBuilder, free: FreeVariables,
+                 global_names: frozenset[str], report: RewriteReport):
+        self.builder = builder
+        self.free = free
+        self.global_names = global_names
+        self.report = report
+        self._memo: dict[tuple[int, frozenset[str]], PlanNode] = {}
+
+    def rewrite(self, node: PlanNode, bound: frozenset[str]) -> PlanNode:
+        key = (node.id, bound & self.free(node))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._rewrite(node, bound)
+        self._memo[key] = result
+        return result
+
+    def _rebuild(self, node: PlanNode, children: tuple[PlanNode, ...],
+                 **extra: Any) -> PlanNode:
+        if not extra and children == node.children:
+            return node
+        params = dict(node.params)
+        params.update(extra)
+        return self.builder.node(node.kind, children, **params)
+
+    def _rewrite(self, node: PlanNode, bound: frozenset[str]) -> PlanNode:
+        if node.kind == "flwor":
+            return self._rewrite_flwor(node, bound)
+        if node.kind == "quantified":
+            variables = node.p("variables")
+            children: list[PlanNode] = []
+            inner = set(bound)
+            for variable, sequence in zip(variables, node.children[:-1]):
+                children.append(self.rewrite(sequence, frozenset(inner)))
+                inner.add(variable)
+            children.append(self.rewrite(node.children[-1], frozenset(inner)))
+            return self._rebuild(node, tuple(children))
+        children = tuple(self.rewrite(child, bound) for child in node.children)
+        return self._rebuild(node, children)
+
+    def _rewrite_flwor(self, node: PlanNode, bound: frozenset[str]) -> PlanNode:
+        nclauses = node.p("nclauses")
+        has_where = node.p("has_where")
+        norder = node.p("norder")
+        clauses = list(node.children[:nclauses])
+        rest = list(node.children[nclauses:])
+
+        # rewrite clause binding sequences with the growing binding set,
+        # remembering the bindings visible *before* each clause
+        bound_before: list[frozenset[str]] = []
+        inner = set(bound)
+        new_clauses: list[PlanNode] = []
+        for clause in clauses:
+            bound_before.append(frozenset(inner))
+            new_clauses.append(self._rebuild(
+                clause, (self.rewrite(clause.children[0], frozenset(inner)),)))
+            inner.add(clause.p("var"))
+            if clause.kind == "for" and clause.p("posvar"):
+                inner.add(clause.p("posvar"))
+        full_bound = frozenset(inner)
+        new_rest = [self.rewrite(child, full_bound) for child in rest]
+
+        join = node.p("join")
+        if join is None and has_where:
+            where = new_rest[0]
+            join = self._match_join(new_clauses, bound_before, where)
+        if join is not None and node.p("join") is None:
+            clause = new_clauses[join[0]]
+            self.report.fire(
+                "join-recognition",
+                f"for ${clause.p('var')} evaluated as a value join "
+                f"(clause {join[0]}, where conjunct {join[1]})")
+            return self._rebuild(node, tuple(new_clauses + new_rest),
+                                 join=join)
+        return self._rebuild(node, tuple(new_clauses + new_rest))
+
+    def _match_join(self, clauses: list[PlanNode],
+                    bound_before: list[frozenset[str]],
+                    where: PlanNode) -> tuple[int, int, int] | None:
+        """First (clause, conjunct, v-side) triple forming a value join."""
+        conjuncts = list(where.children) if where.kind == "and" else [where]
+        for clause_index, clause in enumerate(clauses):
+            if clause.kind != "for" or clause.p("posvar") is not None:
+                continue
+            variable = clause.p("var")
+            outer = bound_before[clause_index]
+            sequence_free = self.free(clause.children[0])
+            # the binding sequence must be loop-invariant: no enclosing
+            # bindings, no dynamic position()/last() registers (the context
+            # document root is re-checked dynamically by the executor)
+            if sequence_free & (outer | {"fs:position", "fs:last"}):
+                continue
+            allowed_other = outer | self.global_names | {"."}
+            for conjunct_index, conjunct in enumerate(conjuncts):
+                if conjunct.kind != "cmp-general":
+                    continue
+                left_free = self.free(conjunct.children[0])
+                right_free = self.free(conjunct.children[1])
+                if (variable in left_free and variable not in right_free
+                        and left_free - {variable, "."} <= self.global_names
+                        and right_free <= allowed_other):
+                    return (clause_index, conjunct_index, 0)
+                if (variable in right_free and variable not in left_free
+                        and right_free - {variable, "."} <= self.global_names
+                        and left_free <= allowed_other):
+                    return (clause_index, conjunct_index, 1)
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# projection pushdown (required-columns analysis)
+# --------------------------------------------------------------------------- #
+def _required_columns(roots: list[PlanNode],
+                      functions: dict[str, Any]) -> dict[int, frozenset[str]]:
+    """Propagate required ``iter|pos|item`` columns from the roots down.
+
+    Every root must deliver the full encoding; order- and position-free
+    contexts relax the requirement for their inputs.  The result maps node
+    ids to the union of the requirements imposed by all consumers.
+    """
+    user_functions = {_strip_fn(name) for name in functions}
+    required: dict[int, frozenset[str]] = {}
+    worklist: list[tuple[PlanNode, frozenset[str]]] = [
+        (root, FULL_COLUMNS) for root in roots]
+
+    while worklist:
+        node, req = worklist.pop()
+        merged = required.get(node.id, frozenset()) | req
+        if merged == required.get(node.id):
+            continue
+        required[node.id] = merged
+        for child, child_req in _child_requirements(node, merged,
+                                                    user_functions):
+            worklist.append((child, child_req))
+    return required
+
+
+def _child_requirements(node: PlanNode, req: frozenset[str],
+                        user_functions: set[str]
+                        ) -> list[tuple[PlanNode, frozenset[str]]]:
+    kind = node.kind
+    children = node.children
+    if kind == "call":
+        name = _strip_fn(node.p("name"))
+        if name in user_functions:
+            return [(child, FULL_COLUMNS) for child in children]
+        if name in _ORDER_FREE_AGGREGATES:
+            child_req = ITER_ONLY if name in ("count", "exists", "empty") \
+                else NO_POS
+            return [(child, child_req) for child in children]
+        if name in _FIRST_ITEM_FUNCTIONS:
+            return [(child, NO_POS) for child in children]
+        return [(child, FULL_COLUMNS) for child in children]
+    if kind in ("cmp-general", "cmp-value", "arith", "unary", "range",
+                "and", "or"):
+        return [(child, NO_POS) for child in children]
+    if kind == "if":
+        condition, then_branch, else_branch = children
+        return [(condition, NO_POS), (then_branch, req), (else_branch, req)]
+    if kind == "seq":
+        child_req = FULL_COLUMNS if "pos" in req else NO_POS
+        return [(child, child_req) for child in children]
+    if kind == "flwor":
+        nclauses = node.p("nclauses")
+        has_where = node.p("has_where")
+        norder = node.p("norder")
+        out: list[tuple[PlanNode, frozenset[str]]] = []
+        for clause in children[:nclauses]:
+            if clause.kind == "for" and clause.p("posvar") is None:
+                out.append((clause.children[0], NO_POS))
+            else:
+                out.append((clause.children[0], FULL_COLUMNS))
+        index = nclauses
+        if has_where:
+            out.append((children[index], NO_POS))
+            index += 1
+        for spec in children[index:index + norder]:
+            out.append((spec.children[0], NO_POS))
+        return_child = children[-1]
+        if norder > 0 or "pos" in req:
+            out.append((return_child, FULL_COLUMNS))
+        else:
+            out.append((return_child, NO_POS))
+        return out
+    if kind == "quantified":
+        return [(child, NO_POS) for child in children]
+    if kind == "step":
+        # location steps read only (iter, item) of their context; predicate
+        # verdicts are per-inner-iteration EBV / numeric values
+        return [(children[0], NO_POS)] + [(predicate, NO_POS)
+                                          for predicate in children[1:]]
+    if kind == "filter":
+        # positional predicates address the base by its pos column
+        return [(children[0], FULL_COLUMNS)] + [(predicate, NO_POS)
+                                                for predicate in children[1:]]
+    if kind in ("elem", "avt", "text"):
+        return [(child, NO_POS) for child in children]
+    return [(child, FULL_COLUMNS) for child in children]

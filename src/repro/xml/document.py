@@ -330,6 +330,14 @@ class DocumentStore:
     def __init__(self) -> None:
         self._documents: dict[str, DocumentContainer] = {}
         self._order_counter = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Schema version: bumped whenever the set of loaded documents
+        changes (load, register, drop, update commit).  Prepared query
+        plans are cached against this number."""
+        return self._version
 
     def _next_order_key(self) -> int:
         self._order_counter += 1
@@ -341,6 +349,7 @@ class DocumentStore:
         container = DocumentContainer(name, self._next_order_key(), transient=transient)
         if not transient:
             self._documents[name] = container
+            self._version += 1
         return container
 
     def register(self, container: DocumentContainer) -> None:
@@ -348,6 +357,7 @@ class DocumentStore:
         if container.name in self._documents:
             raise DocumentError(f"document {container.name!r} already loaded")
         self._documents[container.name] = container
+        self._version += 1
 
     def get(self, name: str) -> DocumentContainer:
         try:
@@ -359,6 +369,7 @@ class DocumentStore:
         if name not in self._documents:
             raise DocumentError(f"document {name!r} is not loaded")
         del self._documents[name]
+        self._version += 1
 
     def names(self) -> list[str]:
         return list(self._documents)

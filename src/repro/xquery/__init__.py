@@ -2,17 +2,24 @@
 
 from .ast import Module
 from .compiler import LoopLiftingCompiler
-from .engine import EngineOptions, MonetXQuery, QueryResult
+from .engine import (EngineOptions, MonetXQuery, PlanCacheStats,
+                     PreparedQuery, QueryResult)
 from .parser import parse, parse_expression
+from .planner import ModulePlan, plan_expression, plan_module
 from .updates import XMLUpdater
 
 __all__ = [
     "EngineOptions",
     "LoopLiftingCompiler",
     "Module",
+    "ModulePlan",
     "MonetXQuery",
+    "PlanCacheStats",
+    "PreparedQuery",
     "QueryResult",
     "XMLUpdater",
     "parse",
     "parse_expression",
+    "plan_expression",
+    "plan_module",
 ]

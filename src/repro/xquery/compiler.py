@@ -1,13 +1,17 @@
-"""The loop-lifting XQuery-to-relational compiler (Pathfinder, Section 2.1).
+"""The loop-lifting XQuery compiler: logical plans executed operator-at-a-time.
 
-Every expression is compiled *with respect to its enclosing ``for``-loops*,
-represented by a unary ``loop`` relation; its value is an ``iter|pos|item``
-table.  Because MonetDB executes its physical algebra (MIL) eagerly,
-operator-at-a-time, the compiler here emits **and executes** the relational
-operators as it walks the AST — the materialised intermediates carry the
+The compiler follows Pathfinder's staging (Section 2.1): a parsed module is
+first translated into a **logical plan DAG** (:mod:`repro.xquery.planner`),
+the DAG is **rewritten** — join recognition, projection pushdown,
+common-subplan sharing (:mod:`repro.relational.rewrites`) — and only then
+does the executor in this module walk the optimized DAG into the eager
+relational operators.  As in MonetDB's operator-at-a-time model every
+physical operator materialises its result; the intermediates carry the
 column properties that drive physical algorithm choice (Section 4.1).
 
-The compiler implements:
+Every expression is executed *with respect to its enclosing ``for``-loops*,
+represented by a unary ``loop`` relation; its value is an ``iter|pos|item``
+table.  The executor implements:
 
 * loop-lifting of constants, variables and FLWOR expressions (scope maps,
   back-mapping, ``order by`` via per-tuple rank keys),
@@ -16,66 +20,86 @@ The compiler implements:
 * XPath location steps through the loop-lifted staircase join with optional
   nametest pushdown (Section 3), including positional and boolean
   predicates via nested iteration scopes,
-* **join recognition** (Section 4.1, ``indep`` property): a ``for`` clause
-  whose binding sequence is loop-invariant and that is paired with a
-  comparison in the ``where`` clause is evaluated as a value-based
-  theta-join with existential semantics instead of a lifted Cartesian
-  product — the rewrite that makes XMark Q8–Q12 scale linearly,
+* **join execution** for the FLWOR blocks the rewrite optimizer annotated
+  (Section 4.1, ``indep`` property): the loop-invariant binding sequence is
+  evaluated once and theta-joined against the outer loop with existential
+  semantics instead of a lifted Cartesian product — the rewrite that makes
+  XMark Q8–Q12 scale linearly,
+* **projection pushdown**: operators whose consumers ignore sequence order
+  and positions skip the sorts/renumberings that only maintain ``pos``,
+* **shared-subplan memoisation**: hash-consed DAG nodes marked by the CSE
+  rewrite execute once per (loop, environment) and are reused afterwards,
 * element/text constructors into the transient document container,
 * the built-in function library and non-recursive user-defined functions.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any
 
 from ..errors import (XQueryRuntimeError, XQueryTypeError,
                       XQueryUnsupportedError)
+from ..relational import explain
 from ..relational import operators as ops
 from ..relational.column import Column
+from ..relational.plan import PlanNode
 from ..relational.properties import TableProps
+from ..relational.rewrites import OptimizedModulePlan, optimize
 from ..relational.sorting import sort
 from ..relational.table import Table
-from ..staircase.axes import Axis
+from ..staircase.axes import NodeTest
 from ..staircase.iterative import StaircaseStats
 from ..xml.document import NodeRef
 from . import ast, functions
 from .constructors import construct_element, construct_text
 from .joins import existential_compare, existential_join, flip_comparison
+from .planner import PlannedFunction, plan_module
 from .sequences import (back_map, empty_sequence, ensure_sequence_order,
                         for_binding, from_iter_items, items_by_iteration,
                         lift_constant, lift_environment, lift_items,
-                        make_loop, restrict_loop, restrict_sequence,
-                        sequence_items, singleton_per_iter, unit_loop)
-from .steps import StepOptions, axis_step, node_test_from_ast
+                        make_loop, restrict_sequence, sequence_items,
+                        singleton_per_iter, unit_loop)
+from .steps import StepOptions, axis_step
 from .types import (atomize, effective_boolean_value, to_number, to_string)
 
 
 class LoopLiftingCompiler:
-    """Compiles-and-evaluates a parsed query against an engine."""
+    """Plans, optimizes and executes a parsed query against an engine."""
 
     def __init__(self, engine):
         self.engine = engine
         self.options = engine.options
-        self.user_functions: dict[str, ast.FunctionDecl] = {}
+        self.user_functions: dict[str, PlannedFunction] = {}
         self.global_items: dict[str, list[Any]] = {}
         self.step_stats = StaircaseStats()
         self._call_stack: list[str] = []
+        self._plan: OptimizedModulePlan | None = None
+        self._memo: dict[tuple, Any] = {}
+        self._memo_pins: list[Any] = []
 
     # ------------------------------------------------------------------ #
-    # entry point
+    # entry points
     # ------------------------------------------------------------------ #
     def run(self, module: ast.Module, context_item: Any | None = None) -> list[Any]:
-        """Evaluate a parsed module; returns the result item sequence."""
-        self.user_functions = dict(module.functions)
+        """Plan, optimize and evaluate a parsed module."""
+        optimized = optimize(plan_module(module), self.options)
+        return self.run_optimized(optimized, context_item=context_item)
+
+    def run_optimized(self, optimized: OptimizedModulePlan,
+                      context_item: Any | None = None) -> list[Any]:
+        """Evaluate an already optimized module plan (the plan-cache path)."""
+        self._plan = optimized
+        self.user_functions = dict(optimized.functions)
+        self._memo = {}
+        self._memo_pins = []
         loop = unit_loop()
-        env: dict[str, Table] = {}
+        env: dict[str, Any] = {}
         if context_item is not None:
             env["."] = lift_constant(loop, context_item)
-        for declaration in module.variables:
-            table = self.compile(declaration.value, loop, env)
-            self.global_items[declaration.name] = sequence_items(table, 1)
-        result = self.compile(module.body, loop, env)
+        for name, plan in optimized.globals:
+            table = self.compile(plan, loop, env)
+            self.global_items[name] = sequence_items(table, 1)
+        result = self.compile(optimized.body, loop, env)
         result = ensure_sequence_order(
             result, use_properties=self.options.order_optimization)
         return sequence_items(result, 1)
@@ -90,46 +114,95 @@ class LoopLiftingCompiler:
         )
 
     # ------------------------------------------------------------------ #
-    # dispatcher
+    # dispatcher (with shared-subplan memoisation)
     # ------------------------------------------------------------------ #
-    def compile(self, node: ast.Expr, loop: Table, env: dict[str, Table]) -> Table:
-        method = getattr(self, f"_compile_{type(node).__name__}", None)
-        if method is None:
-            raise XQueryUnsupportedError(
-                f"unsupported expression {type(node).__name__}")
-        return method(node, loop, env)
+    def compile(self, node: PlanNode, loop, env: dict):
+        """Execute one plan node under the given loop relation/environment."""
+        key = None
+        if self._plan is not None and self._plan.is_shared(node) \
+                and self._plan.is_pure(node):
+            key = self._memo_key(node, loop, env)
+            hit = self._memo.get(key)
+            if hit is not None:
+                explain.record("plan", "plan.cse.reuse", hit.row_count,
+                               hit.row_count, detail=node.kind)
+                return hit
+        method = getattr(self, f"_exec_{node.kind.replace('-', '_')}", None)
+        if method is None:  # pragma: no cover - planner emits known kinds
+            raise XQueryUnsupportedError(f"unsupported plan operator {node.kind}")
+        result = method(node, loop, env)
+        if key is not None:
+            self._memo[key] = result
+        return result
+
+    def _memo_key(self, node: PlanNode, loop, env: dict) -> tuple:
+        """Fingerprint of everything a subplan's value can depend on.
+
+        The pinned tables keep the ``id()`` values stable for the lifetime
+        of this execution.
+        """
+        self._memo_pins.append(loop)
+        parts: list[Any] = [node.id, id(loop)]
+        for name in sorted(self._plan.free(node)):
+            table = env.get(name)
+            if table is None:
+                parts.append((name, None))
+            else:
+                self._memo_pins.append(table)
+                parts.append((name, id(table)))
+        return tuple(parts)
+
+    def _needs_pos(self, node: PlanNode) -> bool:
+        if self._plan is None:
+            return True
+        return "pos" in self._plan.required_columns(node)
 
     # -- literals, variables, sequences ------------------------------------- #
-    def _compile_Literal(self, node: ast.Literal, loop, env) -> Table:
-        return lift_constant(loop, node.value)
+    def _exec_const(self, node: PlanNode, loop, env):
+        return lift_constant(loop, node.p("value"))
 
-    def _compile_EmptySequence(self, node, loop, env) -> Table:
+    def _exec_empty(self, node: PlanNode, loop, env):
         return empty_sequence()
 
-    def _compile_VarRef(self, node: ast.VarRef, loop, env) -> Table:
-        if node.name in env:
-            return env[node.name]
-        if node.name in self.global_items:
-            return lift_items(loop, self.global_items[node.name])
-        raise XQueryRuntimeError(f"unbound variable ${node.name}")
+    def _exec_var(self, node: PlanNode, loop, env):
+        name = node.p("name")
+        if name in env:
+            return env[name]
+        if name in self.global_items:
+            return lift_items(loop, self.global_items[name])
+        raise XQueryRuntimeError(f"unbound variable ${name}")
 
-    def _compile_ContextItem(self, node, loop, env) -> Table:
+    def _exec_context(self, node: PlanNode, loop, env):
         if "." not in env:
             raise XQueryRuntimeError("the context item is undefined here")
         return env["."]
 
-    def _compile_SequenceExpr(self, node: ast.SequenceExpr, loop, env) -> Table:
-        parts = [self.compile(item, loop, env) for item in node.items]
-        return self._concatenate(parts)
+    def _exec_seq(self, node: PlanNode, loop, env):
+        parts = [self.compile(item, loop, env) for item in node.children]
+        return self._concatenate(parts, need_pos=self._needs_pos(node))
 
-    def _concatenate(self, parts: list[Table]) -> Table:
-        branches = []
-        for index, part in enumerate(parts):
-            if part.row_count == 0:
-                continue
-            branches.append(ops.attach(part, "branch", index))
-        if not branches:
+    def _concatenate(self, parts: list, *, need_pos: bool = True):
+        live = [part for part in parts if part.row_count]
+        if not live:
             return empty_sequence()
+        if not need_pos:
+            # projection pushdown: no consumer reads pos, so the branch-major
+            # union already carries the right per-iteration item order — skip
+            # the sort and the positional renumbering entirely.  The stale
+            # per-branch pos values must not survive: a later stable
+            # (iter, pos) sort would use them as keys and interleave the
+            # branches, so a constant column stands in.
+            merged = ops.union_all(live)
+            merged = ops.project(merged, {"iter": "iter", "item": "item"})
+            merged = ops.attach(merged, "pos", 1)
+            merged = ops.project(merged, {"iter": "iter", "pos": "pos",
+                                          "item": "item"})
+            merged.props.order = ()
+            explain.record("project", "project.pushdown", merged.row_count,
+                           merged.row_count, detail="seq")
+            return merged
+        branches = [ops.attach(part, "branch", index)
+                    for index, part in enumerate(live)]
         merged = ops.union_all(branches)
         merged = sort(merged, ("iter", "branch", "pos"),
                       use_properties=self.options.order_optimization)
@@ -141,9 +214,9 @@ class LoopLiftingCompiler:
         result.props.order = ("iter", "pos")
         return result
 
-    def _compile_RangeExpr(self, node: ast.RangeExpr, loop, env) -> Table:
-        start = self._singleton_values(self.compile(node.start, loop, env))
-        end = self._singleton_values(self.compile(node.end, loop, env))
+    def _exec_range(self, node: PlanNode, loop, env):
+        start = self._singleton_values(self.compile(node.children[0], loop, env))
+        end = self._singleton_values(self.compile(node.children[1], loop, env))
         pairs: list[tuple[int, Any]] = []
         for iteration in loop.col("iter"):
             low = to_number(start.get(iteration))
@@ -155,27 +228,29 @@ class LoopLiftingCompiler:
         return from_iter_items(pairs)
 
     # -- arithmetic, comparisons, logic -------------------------------------- #
-    def _singleton_values(self, table: Table) -> dict[int, Any]:
+    def _singleton_values(self, table) -> dict[int, Any]:
         values: dict[int, Any] = {}
         for iteration, item in zip(table.col("iter"), table.col("item")):
             values.setdefault(iteration, item)
         return values
 
-    def _compile_ArithmeticExpr(self, node: ast.ArithmeticExpr, loop, env) -> Table:
-        left = self._singleton_values(self.compile(node.left, loop, env))
-        right = self._singleton_values(self.compile(node.right, loop, env))
+    def _exec_arith(self, node: PlanNode, loop, env):
+        left = self._singleton_values(self.compile(node.children[0], loop, env))
+        right = self._singleton_values(self.compile(node.children[1], loop, env))
+        op = node.p("op")
         values: dict[int, Any] = {}
         for iteration in loop.col("iter"):
             if iteration not in left or iteration not in right:
                 continue
-            result = ops.arithmetic(node.op, atomize(left[iteration]),
+            result = ops.arithmetic(op, atomize(left[iteration]),
                                     atomize(right[iteration]))
             if result is not None:
                 values[iteration] = result
         return singleton_per_iter(loop, values)
 
-    def _compile_UnaryExpr(self, node: ast.UnaryExpr, loop, env) -> Table:
-        operand = self._singleton_values(self.compile(node.operand, loop, env))
+    def _exec_unary(self, node: PlanNode, loop, env):
+        operand = self._singleton_values(self.compile(node.children[0], loop, env))
+        negate = node.p("negate")
         values: dict[int, Any] = {}
         for iteration in loop.col("iter"):
             if iteration not in operand:
@@ -183,69 +258,71 @@ class LoopLiftingCompiler:
             number = to_number(operand[iteration])
             if number is None:
                 continue
-            values[iteration] = -number if node.negate else number
+            values[iteration] = -number if negate else number
         return singleton_per_iter(loop, values)
 
-    def _compile_ValueComparison(self, node: ast.ValueComparison, loop, env) -> Table:
-        left = self._singleton_values(self.compile(node.left, loop, env))
-        right = self._singleton_values(self.compile(node.right, loop, env))
+    def _exec_cmp_value(self, node: PlanNode, loop, env):
+        left = self._singleton_values(self.compile(node.children[0], loop, env))
+        right = self._singleton_values(self.compile(node.children[1], loop, env))
+        op = node.p("op")
         values: dict[int, Any] = {}
         for iteration in loop.col("iter"):
             if iteration not in left or iteration not in right:
                 continue
             values[iteration] = ops.compare_values(
-                node.op, atomize(left[iteration]), atomize(right[iteration]))
+                op, atomize(left[iteration]), atomize(right[iteration]))
         return singleton_per_iter(loop, values)
 
-    def _compile_GeneralComparison(self, node: ast.GeneralComparison, loop, env) -> Table:
-        left = items_by_iteration(self.compile(node.left, loop, env))
-        right = items_by_iteration(self.compile(node.right, loop, env))
+    def _exec_cmp_general(self, node: PlanNode, loop, env):
+        left = items_by_iteration(self.compile(node.children[0], loop, env))
+        right = items_by_iteration(self.compile(node.children[1], loop, env))
         strategy = "auto" if self.options.existential_aggregates else "dedup"
-        true_iterations = existential_compare(left, right, node.op,
+        true_iterations = existential_compare(left, right, node.p("op"),
                                               strategy=strategy)
         values = {iteration: iteration in true_iterations
                   for iteration in loop.col("iter")}
         return singleton_per_iter(loop, values)
 
-    def _ebv_by_iteration(self, node: ast.Expr, loop, env) -> dict[int, bool]:
+    def _ebv_by_iteration(self, node: PlanNode, loop, env) -> dict[int, bool]:
         table = self.compile(node, loop, env)
         grouped = items_by_iteration(table)
         return {iteration: effective_boolean_value(grouped.get(iteration, []))
                 for iteration in loop.col("iter")}
 
-    def _compile_AndExpr(self, node: ast.AndExpr, loop, env) -> Table:
+    def _exec_and(self, node: PlanNode, loop, env):
         verdict = {iteration: True for iteration in loop.col("iter")}
-        for operand in node.operands:
+        for operand in node.children:
             partial = self._ebv_by_iteration(operand, loop, env)
             for iteration in verdict:
                 verdict[iteration] = verdict[iteration] and partial.get(iteration, False)
         return singleton_per_iter(loop, verdict)
 
-    def _compile_OrExpr(self, node: ast.OrExpr, loop, env) -> Table:
+    def _exec_or(self, node: PlanNode, loop, env):
         verdict = {iteration: False for iteration in loop.col("iter")}
-        for operand in node.operands:
+        for operand in node.children:
             partial = self._ebv_by_iteration(operand, loop, env)
             for iteration in verdict:
                 verdict[iteration] = verdict[iteration] or partial.get(iteration, False)
         return singleton_per_iter(loop, verdict)
 
     # -- conditionals --------------------------------------------------------- #
-    def _compile_IfExpr(self, node: ast.IfExpr, loop, env) -> Table:
-        verdict = self._ebv_by_iteration(node.condition, loop, env)
+    def _exec_if(self, node: PlanNode, loop, env):
+        condition, then_branch, else_branch = node.children
+        verdict = self._ebv_by_iteration(condition, loop, env)
         then_iters = [it for it in loop.col("iter") if verdict.get(it, False)]
         else_iters = [it for it in loop.col("iter") if not verdict.get(it, False)]
 
-        parts: list[Table] = []
+        parts = []
         if then_iters:
             then_loop = make_loop(then_iters)
             then_env = {name: restrict_sequence(table, then_iters)
                         for name, table in env.items()}
-            parts.append(self.compile(node.then_branch, then_loop, then_env))
+            parts.append(self.compile(then_branch, then_loop, then_env))
         if else_iters:
             else_loop = make_loop(else_iters)
             else_env = {name: restrict_sequence(table, else_iters)
                         for name, table in env.items()}
-            parts.append(self.compile(node.else_branch, else_loop, else_env))
+            parts.append(self.compile(else_branch, else_loop, else_env))
         parts = [part for part in parts if part.row_count]
         if not parts:
             return empty_sequence()
@@ -255,48 +332,66 @@ class LoopLiftingCompiler:
         return merged
 
     # -- FLWOR ----------------------------------------------------------------- #
-    def _compile_FLWORExpr(self, node: ast.FLWORExpr, loop, env) -> Table:
+    def _exec_flwor(self, node: PlanNode, loop, env):
+        nclauses = node.p("nclauses")
+        has_where = node.p("has_where")
+        norder = node.p("norder")
+        clauses = node.children[:nclauses]
+        where = node.children[nclauses] if has_where else None
+        spec_start = nclauses + (1 if has_where else 0)
+        orderspecs = node.children[spec_start:spec_start + norder]
+        return_node = node.children[-1]
+
+        conjuncts: list[PlanNode] = []
+        if where is not None:
+            conjuncts = list(where.children) if where.kind == "and" else [where]
+        join = node.p("join") if self.options.join_recognition else None
+
         current_loop = loop
         current_env = dict(env)
-        tuple_map: Table | None = None           # outer -> inner, composed
-        where = node.where
-        consumed_where = False
+        tuple_map = None                    # outer -> inner, composed
+        consumed_join = False
 
-        for clause in node.clauses:
-            if isinstance(clause, ast.LetClause):
-                current_env[clause.variable] = self.compile(
-                    clause.value, current_loop, current_env)
-                continue
-            if not isinstance(clause, ast.ForClause):   # pragma: no cover
-                raise XQueryUnsupportedError("unsupported FLWOR clause")
-
-            join_plan = None
-            if (self.options.join_recognition and where is not None
-                    and not consumed_where):
-                join_plan = self._recognize_join(clause, where, current_loop,
-                                                 current_env)
-            if join_plan is not None:
-                scope_map, inner_loop, bindings, remaining_where = join_plan
-                current_env = lift_environment(current_env, scope_map)
-                current_env.update(bindings)
-                tuple_map = self._compose_maps(tuple_map, scope_map)
-                current_loop = inner_loop
-                where = remaining_where
-                consumed_where = True
+        for index, clause in enumerate(clauses):
+            if clause.kind == "let":
+                current_env[clause.p("var")] = self.compile(
+                    clause.children[0], current_loop, current_env)
                 continue
 
-            sequence = self.compile(clause.sequence, current_loop, current_env)
+            if join is not None and join[0] == index and not consumed_join:
+                join_plan = self._execute_join(clause, conjuncts[join[1]],
+                                               join[2], current_loop,
+                                               current_env)
+                if join_plan is not None:
+                    scope_map, inner_loop, bindings = join_plan
+                    current_env = lift_environment(current_env, scope_map)
+                    current_env.update(bindings)
+                    tuple_map = self._compose_maps(tuple_map, scope_map)
+                    current_loop = inner_loop
+                    del conjuncts[join[1]]
+                    consumed_join = True
+                    continue
+
+            sequence = self.compile(clause.children[0], current_loop,
+                                    current_env)
             scope_map, inner_loop, variable, positions = for_binding(
                 sequence, use_properties=self.options.order_optimization)
             current_env = lift_environment(current_env, scope_map)
-            current_env[clause.variable] = variable
-            if clause.position_variable:
-                current_env[clause.position_variable] = positions
+            current_env[clause.p("var")] = variable
+            if clause.p("posvar"):
+                current_env[clause.p("posvar")] = positions
             tuple_map = self._compose_maps(tuple_map, scope_map)
             current_loop = inner_loop
 
-        if where is not None:
-            verdict = self._ebv_by_iteration(where, current_loop, current_env)
+        if conjuncts:
+            verdict = {iteration: True
+                       for iteration in current_loop.col("iter")}
+            for conjunct in conjuncts:
+                partial = self._ebv_by_iteration(conjunct, current_loop,
+                                                 current_env)
+                for iteration in verdict:
+                    verdict[iteration] = verdict[iteration] \
+                        and partial.get(iteration, False)
             surviving = [it for it in current_loop.col("iter")
                          if verdict.get(it, False)]
             current_loop = make_loop(surviving)
@@ -304,11 +399,11 @@ class LoopLiftingCompiler:
                            for name, table in current_env.items()}
 
         order_keys = None
-        if node.order_by:
-            order_keys = self._order_by_ranks(node.order_by, current_loop,
+        if orderspecs:
+            order_keys = self._order_by_ranks(orderspecs, current_loop,
                                               current_env)
 
-        body = self.compile(node.return_expr, current_loop, current_env)
+        body = self.compile(return_node, current_loop, current_env)
 
         if tuple_map is None:
             if order_keys is not None:
@@ -316,9 +411,10 @@ class LoopLiftingCompiler:
                     "order by requires at least one for clause")
             return body
         return back_map(tuple_map, body, order_keys=order_keys,
-                        use_properties=self.options.order_optimization)
+                        use_properties=self.options.order_optimization,
+                        need_pos=self._needs_pos(node) or norder > 0)
 
-    def _compose_maps(self, outer_map: Table | None, inner_map: Table) -> Table:
+    def _compose_maps(self, outer_map, inner_map):
         """Compose two scope maps: (outer->mid) ∘ (mid->inner) = outer->inner."""
         if outer_map is None:
             return inner_map
@@ -329,28 +425,14 @@ class LoopLiftingCompiler:
         composed.props.order = ("outer", "inner")
         return composed
 
-    def _order_by_ranks(self, specs: list[ast.OrderSpec], loop, env) -> Table:
+    def _order_by_ranks(self, specs, loop, env):
         """One rank value per iteration implementing the ``order by`` keys."""
         keys_per_spec = []
         for spec in specs:
-            table = self.compile(spec.key, loop, env)
-            keys_per_spec.append((self._singleton_values(table), spec.descending))
+            table = self.compile(spec.children[0], loop, env)
+            keys_per_spec.append((self._singleton_values(table),
+                                  spec.p("descending")))
         iterations = list(loop.col("iter"))
-
-        def sort_key(iteration: int):
-            composite = []
-            for values, descending in keys_per_spec:
-                value = values.get(iteration)
-                value = atomize(value) if value is not None else None
-                number = to_number(value) if value is not None else None
-                if number is not None:
-                    missing = 1 if value is None else 0
-                    composite.append((missing, -number if descending else number, ""))
-                else:
-                    text = to_string(value) if value is not None else ""
-                    missing = 1 if value is None else 0
-                    composite.append((missing, 0, text))
-            return composite
 
         # stable two-phase sort: strings cannot be negated, so descending
         # string keys are handled by sorting each spec separately (last spec
@@ -376,21 +458,18 @@ class LoopLiftingCompiler:
             Column("okey", [ranks[iteration] for iteration in iterations]),
         ], props=TableProps(order=("iter",)))
 
-    # -- join recognition (Section 4.1 indep / Section 4.2) -------------------- #
-    def _recognize_join(self, clause: ast.ForClause, where: ast.Expr,
-                        current_loop: Table, env: dict[str, Table]):
-        """Try to evaluate ``for $v in <loop-invariant seq> ... where lhs ⊖ rhs``
-        as a value join; returns ``None`` when the pattern does not apply."""
-        free = clause.sequence.free_variables()
-        loop_variables = set(env) - {"."}
-        if free & loop_variables:
-            return None
-        if clause.position_variable is not None:
-            return None
+    # -- join execution (Section 4.1 indep / Section 4.2) ---------------------- #
+    def _execute_join(self, clause: PlanNode, conjunct: PlanNode, v_side: int,
+                      current_loop, env: dict):
+        """Evaluate an optimizer-annotated ``for $v ... where lhs ⊖ rhs``
+        clause as a value join.
 
-        # the binding sequence may still use absolute paths (the context
-        # item); independence only holds when every iteration sees the same
-        # context document root
+        The loop-invariance of the binding sequence was established
+        statically by the rewrite; what remains dynamic is the context
+        document check — independence only holds when every iteration sees
+        the same context root.  Returns ``None`` to fall back to the lifted
+        nested-loop evaluation.
+        """
         constant_context = None
         if "." in env:
             roots = {(id(item.container), item.container.root_pre(item.pre))
@@ -404,65 +483,43 @@ class LoopLiftingCompiler:
                                                item.container.root_pre(item.pre))
                     break
 
-        conjuncts = self._where_conjuncts(where)
-        variable = clause.variable
-        chosen_index = None
-        v_side = other_side = None
-        op = None
-        for index, conjunct in enumerate(conjuncts):
-            if not isinstance(conjunct, ast.GeneralComparison):
-                continue
-            left_free = conjunct.left.free_variables()
-            right_free = conjunct.right.free_variables()
-            bound_before = set(env) | {"."}
-            if (variable in left_free and variable not in right_free
-                    and left_free - {variable} <= set(self.global_items)
-                    and right_free <= bound_before | set(self.global_items)):
-                chosen_index = index
-                v_side, other_side, op = conjunct.left, conjunct.right, \
-                    flip_comparison(conjunct.op)
-                break
-            if (variable in right_free and variable not in left_free
-                    and right_free - {variable} <= set(self.global_items)
-                    and left_free <= bound_before | set(self.global_items)):
-                chosen_index = index
-                v_side, other_side, op = conjunct.right, conjunct.left, conjunct.op
-                break
-        if chosen_index is None:
-            return None
+        v_node = conjunct.children[v_side]
+        other_node = conjunct.children[1 - v_side]
+        op = conjunct.p("op")
+        if v_side == 0:
+            op = flip_comparison(op)
 
         # 1. evaluate the loop-invariant binding sequence once
         base_loop = unit_loop()
-        base_env: dict[str, Table] = {}
+        base_env: dict[str, Any] = {}
         if constant_context is not None:
             base_env["."] = lift_constant(base_loop, constant_context)
-        sequence = self.compile(clause.sequence, base_loop, base_env)
+        sequence = self.compile(clause.children[0], base_loop, base_env)
         items = sequence_items(sequence, 1)
         if not items:
             # no binding items: the FLWOR contributes nothing for any outer
             # iteration — an empty scope map expresses exactly that
             empty_map = Table.from_dict({"outer": [], "inner": []},
                                         order=("outer", "inner"))
-            bindings = {clause.variable: empty_sequence()}
-            return empty_map, make_loop([]), bindings, \
-                self._strip_conjunct(where, conjuncts, chosen_index)
+            bindings = {clause.p("var"): empty_sequence()}
+            return empty_map, make_loop([]), bindings
 
         # 2. the side of the comparison that depends on $v, per binding item
         item_loop = make_loop(list(range(1, len(items) + 1)))
-        item_env = {clause.variable: Table([
+        item_env = {clause.p("var"): Table([
             Column("iter", list(range(1, len(items) + 1)), infer=True),
             Column.constant("pos", 1, len(items)),
             Column("item", list(items)),
         ], props=TableProps(order=("iter", "pos")))}
         if constant_context is not None:
             item_env["."] = lift_constant(item_loop, constant_context)
-        v_values_table = self.compile(v_side, item_loop, item_env)
+        v_values_table = self.compile(v_node, item_loop, item_env)
         v_rows = [(iteration, atomize(item))
                   for iteration, item in zip(v_values_table.col("iter"),
                                              v_values_table.col("item"))]
 
         # 3. the other side, per enclosing-loop iteration
-        other_table = self.compile(other_side, current_loop, env)
+        other_table = self.compile(other_node, current_loop, env)
         other_rows = [(iteration, atomize(item))
                       for iteration, item in zip(other_table.col("iter"),
                                                  other_table.col("item"))]
@@ -481,39 +538,22 @@ class LoopLiftingCompiler:
         ], props=TableProps(order=("outer", "inner")))
         inner_loop = make_loop(inner_column)
         bound_items = [items[pair[1] - 1] for pair in pairs]
-        bindings = {clause.variable: Table([
+        bindings = {clause.p("var"): Table([
             Column("iter", inner_column, infer=True),
             Column.constant("pos", 1, len(pairs)),
             Column("item", bound_items),
         ], props=TableProps(order=("iter", "pos")))}
-
-        remaining = self._strip_conjunct(where, conjuncts, chosen_index)
-        return scope_map, inner_loop, bindings, remaining
-
-    @staticmethod
-    def _where_conjuncts(where: ast.Expr) -> list[ast.Expr]:
-        if isinstance(where, ast.AndExpr):
-            return list(where.operands)
-        return [where]
-
-    @staticmethod
-    def _strip_conjunct(where: ast.Expr, conjuncts: list[ast.Expr],
-                        index: int) -> ast.Expr | None:
-        remaining = [conjunct for position, conjunct in enumerate(conjuncts)
-                     if position != index]
-        if not remaining:
-            return None
-        if len(remaining) == 1:
-            return remaining[0]
-        return ast.AndExpr(remaining)
+        return scope_map, inner_loop, bindings
 
     # -- quantified expressions ------------------------------------------------ #
-    def _compile_QuantifiedExpr(self, node: ast.QuantifiedExpr, loop, env) -> Table:
+    def _exec_quantified(self, node: PlanNode, loop, env):
+        variables = node.p("variables")
+        quantifier = node.p("quantifier")
         current_loop = loop
         current_env = dict(env)
-        tuple_map: Table | None = None
-        for variable, sequence_expr in node.bindings:
-            sequence = self.compile(sequence_expr, current_loop, current_env)
+        tuple_map = None
+        for variable, sequence_node in zip(variables, node.children[:-1]):
+            sequence = self.compile(sequence_node, current_loop, current_env)
             scope_map, inner_loop, bound, _ = for_binding(
                 sequence, use_properties=self.options.order_optimization)
             current_env = lift_environment(current_env, scope_map)
@@ -521,7 +561,8 @@ class LoopLiftingCompiler:
             tuple_map = self._compose_maps(tuple_map, scope_map)
             current_loop = inner_loop
 
-        verdict = self._ebv_by_iteration(node.satisfies, current_loop, current_env)
+        verdict = self._ebv_by_iteration(node.children[-1], current_loop,
+                                         current_env)
         per_outer: dict[int, list[bool]] = {}
         if tuple_map is None:                           # no bindings: degenerate
             per_outer = {iteration: [] for iteration in loop.col("iter")}
@@ -531,29 +572,14 @@ class LoopLiftingCompiler:
         values: dict[int, bool] = {}
         for iteration in loop.col("iter"):
             outcomes = per_outer.get(iteration, [])
-            if node.quantifier == "some":
+            if quantifier == "some":
                 values[iteration] = any(outcomes)
             else:
                 values[iteration] = all(outcomes)
         return singleton_per_iter(loop, values)
 
     # -- paths ------------------------------------------------------------------ #
-    def _compile_PathExpr(self, node: ast.PathExpr, loop, env) -> Table:
-        if node.absolute:
-            current = self._context_roots(loop, env)
-        elif node.start is not None:
-            current = self.compile(node.start, loop, env)
-        else:
-            current = self._compile_ContextItem(ast.ContextItem(), loop, env)
-        for step in node.steps:
-            if isinstance(step, ast.AxisStep):
-                current = self._compile_axis_step(step, current, loop, env)
-            else:
-                raise XQueryUnsupportedError(
-                    "only axis steps are supported inside a path")
-        return current
-
-    def _context_roots(self, loop, env) -> Table:
+    def _exec_root(self, node: PlanNode, loop, env):
         if "." not in env:
             raise XQueryRuntimeError(
                 "absolute path used without a context document")
@@ -567,30 +593,36 @@ class LoopLiftingCompiler:
                                    item.container.root_pre(item.pre)))
         return singleton_per_iter(loop, values)
 
-    def _compile_axis_step(self, step: ast.AxisStep, context: Table, loop, env) -> Table:
-        node_test = node_test_from_ast(step.node_test)
-        if not step.predicates:
-            return axis_step(context, step.axis, node_test,
+    def _exec_step(self, node: PlanNode, loop, env):
+        context = self.compile(node.children[0], loop, env)
+        predicates = node.children[1:]
+        name = node.p("test_name")
+        node_test = NodeTest(kind=node.p("test_kind"),
+                             name=name if name not in (None, "*") else None)
+        axis = node.p("axis")
+        if not predicates:
+            return axis_step(context, axis, node_test,
                              options=self.step_options, stats=self.step_stats)
         # predicates need positions relative to each context node: open a
         # nested iteration scope with one iteration per context node
         scope_map, sub_loop, dot, _ = for_binding(
             context, use_properties=self.options.order_optimization)
-        produced = axis_step(dot, step.axis, node_test,
+        produced = axis_step(dot, axis, node_test,
                              options=self.step_options, stats=self.step_stats)
         sub_env = lift_environment(env, scope_map)
         sub_env["."] = dot
-        filtered = self._apply_predicates(produced, step.predicates, sub_loop,
+        filtered = self._apply_predicates(produced, predicates, sub_loop,
                                           sub_env)
         merged = back_map(scope_map, filtered,
                           use_properties=self.options.order_optimization)
-        return self._nodes_in_document_order(merged)
+        return self._nodes_in_document_order(merged,
+                                             need_pos=self._needs_pos(node))
 
-    def _compile_FilterExpr(self, node: ast.FilterExpr, loop, env) -> Table:
-        base = self.compile(node.base, loop, env)
-        return self._apply_predicates(base, node.predicates, loop, env)
+    def _exec_filter(self, node: PlanNode, loop, env):
+        base = self.compile(node.children[0], loop, env)
+        return self._apply_predicates(base, node.children[1:], loop, env)
 
-    def _nodes_in_document_order(self, table: Table) -> Table:
+    def _nodes_in_document_order(self, table, *, need_pos: bool = True):
         rows = sorted(
             zip(table.col("iter"), table.col("item")),
             key=lambda pair: (pair[0], pair[1].order_key()
@@ -602,30 +634,29 @@ class LoopLiftingCompiler:
                 continue
             deduped.append(pair)
             previous = pair
-        return from_iter_items(deduped)
+        return from_iter_items(deduped, need_pos=need_pos)
 
-    def _apply_predicates(self, sequence: Table, predicates: list[ast.Expr],
-                          loop, env) -> Table:
+    def _apply_predicates(self, sequence, predicates, loop, env):
         current = sequence
         for predicate in predicates:
             current = self._apply_one_predicate(current, predicate, loop, env)
         return current
 
-    def _apply_one_predicate(self, sequence: Table, predicate: ast.Expr,
-                             loop, env) -> Table:
+    def _apply_one_predicate(self, sequence, predicate: PlanNode, loop, env):
         if sequence.row_count == 0:
             return sequence
         positions = sequence.col("pos")
         iterations = sequence.col("iter")
 
         # fast paths: positional literal and last()
-        if isinstance(predicate, ast.Literal) and isinstance(predicate.value, int) \
-                and not isinstance(predicate.value, bool):
+        if predicate.kind == "const" and isinstance(predicate.p("value"), int) \
+                and not isinstance(predicate.p("value"), bool):
+            wanted = predicate.p("value")
             keep = [index for index, position in enumerate(positions)
-                    if position == predicate.value]
+                    if position == wanted]
             return self._rebuild_filtered(sequence, keep)
-        if isinstance(predicate, ast.FunctionCall) and predicate.name == "last" \
-                and not predicate.arguments:
+        if predicate.kind == "call" and predicate.p("name") == "last" \
+                and not predicate.children:
             last_by_iter: dict[int, int] = {}
             for iteration, position in zip(iterations, positions):
                 last_by_iter[iteration] = max(last_by_iter.get(iteration, 0), position)
@@ -669,74 +700,81 @@ class LoopLiftingCompiler:
                 keep.append(index)
         return self._rebuild_filtered(sequence, keep)
 
-    def _rebuild_filtered(self, sequence: Table, keep: list[int]) -> Table:
+    def _rebuild_filtered(self, sequence, keep: list[int]):
         kept = sequence.take(keep, keep_order=True)
         pairs = list(zip(kept.col("iter"), kept.col("item")))
         return from_iter_items(pairs)
 
-    # -- node tests as steps are handled through steps.py ----------------------- #
-
     # -- functions --------------------------------------------------------------- #
-    def _compile_FunctionCall(self, node: ast.FunctionCall, loop, env) -> Table:
-        name = node.name
+    def _exec_call(self, node: PlanNode, loop, env):
+        name = node.p("name")
         if name.startswith("fn:"):
             name = name[3:]
-        if name == "position" and not node.arguments:
+        if name == "position" and not node.children:
             if "fs:position" not in env:
                 raise XQueryRuntimeError("position() used outside a predicate")
             return env["fs:position"]
-        if name == "last" and not node.arguments:
+        if name == "last" and not node.children:
             if "fs:last" not in env:
                 raise XQueryRuntimeError("last() used outside a predicate")
             return env["fs:last"]
 
-        if node.name in self.user_functions or name in self.user_functions:
-            declaration = self.user_functions.get(node.name) \
+        if node.p("name") in self.user_functions or name in self.user_functions:
+            planned = self.user_functions.get(node.p("name")) \
                 or self.user_functions[name]
-            return self._call_user_function(declaration, node, loop, env)
+            return self._call_user_function(planned, node, loop, env)
 
         if name in ("string", "data", "number", "name", "local-name") \
-                and not node.arguments:
-            node = ast.FunctionCall(name, [ast.ContextItem()])
+                and not node.children:
+            arguments = [self._exec_context(node, loop, env)]
+        else:
+            arguments = [self.compile(argument, loop, env)
+                         for argument in node.children]
         implementation = functions.lookup(name)
-        arguments = [self.compile(argument, loop, env)
-                     for argument in node.arguments]
         return implementation(self, loop, arguments)
 
-    def _call_user_function(self, declaration: ast.FunctionDecl,
-                            node: ast.FunctionCall, loop, env) -> Table:
-        if declaration.name in self._call_stack:
+    def _call_user_function(self, planned: PlannedFunction,
+                            node: PlanNode, loop, env):
+        if planned.name in self._call_stack:
             raise XQueryUnsupportedError(
-                f"recursive user function {declaration.name}() is not supported "
+                f"recursive user function {planned.name}() is not supported "
                 "by the eager loop-lifting evaluator")
-        if len(node.arguments) != len(declaration.parameters):
+        if len(node.children) != len(planned.parameters):
             raise XQueryTypeError(
-                f"{declaration.name}() expects {len(declaration.parameters)} "
-                f"arguments, got {len(node.arguments)}")
-        call_env: dict[str, Table] = {}
-        for parameter, argument in zip(declaration.parameters, node.arguments):
+                f"{planned.name}() expects {len(planned.parameters)} "
+                f"arguments, got {len(node.children)}")
+        call_env: dict[str, Any] = {}
+        for parameter, argument in zip(planned.parameters, node.children):
             call_env[parameter] = self.compile(argument, loop, env)
-        self._call_stack.append(declaration.name)
+        self._call_stack.append(planned.name)
         try:
-            return self.compile(declaration.body, loop, call_env)
+            return self.compile(planned.body, loop, call_env)
         finally:
             self._call_stack.pop()
 
     # -- constructors -------------------------------------------------------------- #
-    def _compile_ElementConstructor(self, node: ast.ElementConstructor, loop, env) -> Table:
+    def _exec_elem(self, node: PlanNode, loop, env):
         container = self.engine.transient
+        attr_names = node.p("attr_names")
+        content_spec = node.p("content_spec")
+        templates = node.children[:len(attr_names)]
+        content_children = node.children[len(attr_names):]
+
         attribute_values: list[tuple[str, dict[int, str]]] = []
-        for attribute_name, template in node.attributes:
+        for attribute_name, template in zip(attr_names, templates):
             attribute_values.append(
-                (attribute_name, self._evaluate_value_template(template, loop, env)))
+                (attribute_name,
+                 self._evaluate_value_template(template, loop, env)))
 
         content_parts: list[tuple[str, Any]] = []
-        for part in node.content:
-            if isinstance(part, str):
-                content_parts.append(("text", part))
-            else:
+        expr_index = 0
+        for part in content_spec:
+            if part == "e":
                 content_parts.append(("expr", items_by_iteration(
-                    self.compile(part, loop, env))))
+                    self.compile(content_children[expr_index], loop, env))))
+                expr_index += 1
+            else:
+                content_parts.append(("text", part[1]))
 
         values: dict[int, Any] = {}
         for iteration in loop.col("iter"):
@@ -748,19 +786,21 @@ class LoopLiftingCompiler:
                     content.append(payload)
                 else:
                     content.extend(payload.get(iteration, []))
-            values[iteration] = construct_element(container, node.name,
+            values[iteration] = construct_element(container, node.p("name"),
                                                   attributes, content)
         return singleton_per_iter(loop, values)
 
-    def _evaluate_value_template(self, template: ast.AttributeValue, loop, env
+    def _evaluate_value_template(self, template: PlanNode, loop, env
                                  ) -> dict[int, str]:
         pieces: list[tuple[str, Any]] = []
-        for part in template.parts:
-            if isinstance(part, str):
-                pieces.append(("text", part))
-            else:
+        expr_index = 0
+        for part in template.p("spec"):
+            if part == "e":
                 pieces.append(("expr", items_by_iteration(
-                    self.compile(part, loop, env))))
+                    self.compile(template.children[expr_index], loop, env))))
+                expr_index += 1
+            else:
+                pieces.append(("text", part[1]))
         values: dict[int, str] = {}
         for iteration in loop.col("iter"):
             rendered: list[str] = []
@@ -773,8 +813,8 @@ class LoopLiftingCompiler:
             values[iteration] = "".join(rendered)
         return values
 
-    def _compile_TextConstructor(self, node: ast.TextConstructor, loop, env) -> Table:
-        grouped = items_by_iteration(self.compile(node.content, loop, env))
+    def _exec_text(self, node: PlanNode, loop, env):
+        grouped = items_by_iteration(self.compile(node.children[0], loop, env))
         container = self.engine.transient
         values: dict[int, Any] = {}
         for iteration in loop.col("iter"):

@@ -16,16 +16,20 @@ optimization, positional lookup).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from collections import OrderedDict
+from dataclasses import astuple, dataclass, field, replace
 from typing import Any
 
 from ..errors import DocumentError
+from ..relational import explain
+from ..relational.rewrites import OptimizedModulePlan, optimize
 from ..staircase.iterative import StaircaseStats
 from ..xml.document import DocumentContainer, DocumentStore, NodeRef
 from ..xml.serializer import serialize_sequence
 from ..xml.shredder import shred_document, shred_file
 from . import parser
 from .compiler import LoopLiftingCompiler
+from .planner import plan_module
 from .types import atomize, to_string
 
 
@@ -53,9 +57,57 @@ class EngineOptions:
     positional_lookup: bool = True
     #: min/max-aggregate plan for existential order comparisons (Figure 8b)
     existential_aggregates: bool = True
+    #: logical-plan rewrite: prune pos/item columns (and the sorts/rownums
+    #: that maintain them) below order-indifferent consumers
+    projection_pushdown: bool = True
+    #: logical-plan rewrite: execute hash-consed common subplans once per
+    #: (loop, environment) and reuse the materialised result
+    subplan_sharing: bool = True
 
     def replace(self, **changes: Any) -> "EngineOptions":
         return replace(self, **changes)
+
+    def fingerprint(self) -> tuple:
+        """A hashable key component identifying this configuration."""
+        return astuple(self)
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/eviction counters of the engine's prepared-plan cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def clear(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+@dataclass
+class PreparedQuery:
+    """A parsed, planned and optimized query, ready to run repeatedly.
+
+    Produced by :meth:`MonetXQuery.prepare`; running it skips parsing,
+    planning and the rewrite optimizer entirely.  The plan is logical —
+    execution reads the document store at :meth:`run` time, so a prepared
+    query observes later updates to the *contents* of loaded documents,
+    while the engine's plan cache is invalidated whenever the set of loaded
+    documents (the schema version) changes.
+    """
+
+    text: str
+    plan: OptimizedModulePlan
+    options: "EngineOptions"
+    engine: "MonetXQuery" = field(repr=False)
+
+    def run(self, *, context: str | None = None) -> "QueryResult":
+        """Execute the optimized plan and return the result sequence."""
+        return self.engine._run_prepared(self, context=context)
+
+    def explain(self) -> str:
+        """The optimized logical plan dump plus the fired rewrite rules."""
+        return self.plan.render()
 
 
 @dataclass
@@ -85,11 +137,15 @@ class QueryResult:
 class MonetXQuery:
     """A relational XQuery processor over shredded XML documents."""
 
-    def __init__(self, options: EngineOptions | None = None):
+    def __init__(self, options: EngineOptions | None = None, *,
+                 plan_cache_size: int = 64):
         self.options = options if options is not None else EngineOptions()
         self.store = DocumentStore()
         self.transient = self.store.new_container("(transient)", transient=True)
         self._default_context: str | None = None
+        self.plan_cache_size = plan_cache_size
+        self.plan_cache_stats = PlanCacheStats()
+        self._plan_cache: OrderedDict[tuple, PreparedQuery] = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # document management
@@ -147,19 +203,68 @@ class MonetXQuery:
         ``context`` names the document bound to the context item (absolute
         paths like ``/site/...`` start there); it defaults to the first
         loaded document.  ``options`` overrides the engine options for this
-        query only.
+        query only.  Repeated query texts hit the prepared-plan cache and
+        skip parse/plan/optimize entirely.
         """
+        return self.prepare(query, options=options).run(context=context)
+
+    def prepare(self, query: str, *,
+                options: EngineOptions | None = None) -> PreparedQuery:
+        """Parse, plan and optimize a query once; cache the result.
+
+        The LRU cache is keyed by query text, the document-store schema
+        version and the engine options, so loading/dropping a document (or
+        committing updates) invalidates stale plans automatically.
+        """
+        active = options if options is not None else self.options
+        key = (query, self.store.version, active.fingerprint())
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache.move_to_end(key)
+            self.plan_cache_stats.hits += 1
+            explain.record("plan", "plan.cache.hit", 0, 0, detail="prepare")
+            return cached
+        self.plan_cache_stats.misses += 1
+        explain.record("plan", "plan.cache.miss", 0, 0, detail="prepare")
         module = parser.parse(query)
-        return self.execute(module, context=context, options=options)
+        optimized = optimize(plan_module(module), active)
+        prepared = PreparedQuery(text=query, plan=optimized,
+                                 options=active, engine=self)
+        if self.plan_cache_size > 0:
+            self._plan_cache[key] = prepared
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+                self.plan_cache_stats.evictions += 1
+        return prepared
+
+    def explain(self, query: str, *,
+                options: EngineOptions | None = None) -> str:
+        """The optimized logical plan dump of a query (without running it)."""
+        return self.prepare(query, options=options).explain()
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached prepared queries (counters are kept)."""
+        self._plan_cache.clear()
 
     def execute(self, module, *, context: str | None = None,
                 options: EngineOptions | None = None) -> QueryResult:
-        """Evaluate an already parsed module."""
+        """Evaluate an already parsed module (uncached plan pipeline)."""
         active_options = options if options is not None else self.options
         compiler = LoopLiftingCompiler(_EngineView(self, active_options))
         context_item = self._context_item(context)
         started = time.perf_counter()
         items = compiler.run(module, context_item=context_item)
+        elapsed = time.perf_counter() - started
+        return QueryResult(items=items, elapsed_seconds=elapsed,
+                           step_stats=compiler.step_stats)
+
+    def _run_prepared(self, prepared: PreparedQuery, *,
+                      context: str | None = None) -> QueryResult:
+        compiler = LoopLiftingCompiler(_EngineView(self, prepared.options))
+        context_item = self._context_item(context)
+        started = time.perf_counter()
+        items = compiler.run_optimized(prepared.plan,
+                                       context_item=context_item)
         elapsed = time.perf_counter() - started
         return QueryResult(items=items, elapsed_seconds=elapsed,
                            step_stats=compiler.step_stats)

@@ -90,14 +90,26 @@ def lift_items(loop: Table, items: Sequence[Any]) -> Table:
     return Table(columns, props=TableProps(order=("iter", "pos")))
 
 
-def from_iter_items(pairs: Sequence[tuple[int, Any]]) -> Table:
+def from_iter_items(pairs: Sequence[tuple[int, Any]], *,
+                    need_pos: bool = True) -> Table:
     """Build a sequence table from (iter, item) pairs already in sequence order.
 
     Positions are renumbered densely per iteration (streaming, since the
-    pairs are grouped per iteration in order).
+    pairs are grouped per iteration in order).  With ``need_pos=False`` —
+    the projection-pushdown rewrite proved no consumer reads ``pos`` — the
+    renumbering is skipped and a constant column stands in.
     """
     iters = [pair[0] for pair in pairs]
     items = [pair[1] for pair in pairs]
+    if not need_pos:
+        from ..relational import explain
+        explain.record("project", "project.pushdown", len(iters), len(iters),
+                       detail="pos pruned")
+        return Table([
+            Column("iter", iters),
+            Column.constant("pos", 1, len(iters)),
+            Column("item", items),
+        ], props=TableProps(order=("iter",)))
     table = Table([Column("iter", iters), Column("item", items)],
                   props=TableProps(order=("iter",)))
     table.add_group_order((), "iter")
@@ -214,7 +226,8 @@ def restrict_sequence(sequence: Table, iterations: Iterable[int]) -> Table:
 
 def back_map(scope_map: Table, body: Table, *,
              order_keys: Table | None = None,
-             use_properties: bool = True) -> Table:
+             use_properties: bool = True,
+             need_pos: bool = True) -> Table:
     """Map an inner-loop result back to the enclosing loop.
 
     ``scope_map`` is the ``outer|inner`` relation of :func:`for_binding`;
@@ -228,7 +241,13 @@ def back_map(scope_map: Table, body: Table, *,
     iteration (columns ``iter`` and ``key1`` .. ``keyN``): the inner
     iterations are then ordered by the keys instead of their iteration
     number.
+
+    ``need_pos=False`` (only valid without ``order_keys``) applies the
+    projection-pushdown rewrite: no consumer reads positions, so the sort
+    and the positional renumbering are skipped — the join output already
+    carries the right per-iteration item order.
     """
+    from ..relational import explain
     from ..relational.sorting import sort
 
     renamed_body = ops.project(body, {"body_iter": "iter", "body_pos": "pos",
@@ -240,6 +259,16 @@ def back_map(scope_map: Table, body: Table, *,
     # is physically ordered on (outer, inner, body_pos) — the property the
     # order-aware peephole pass infers to prune the sort below
     joined.props.order = ("outer", "inner", "body_pos")
+
+    if order_keys is None and not need_pos:
+        result = ops.project(joined, {"iter": "outer", "item": "item"})
+        result = ops.attach(result, "pos", 1)
+        result = ops.project(result, {"iter": "iter", "pos": "pos",
+                                      "item": "item"})
+        result.props.order = ("iter",)
+        explain.record("project", "project.pushdown", joined.row_count,
+                       result.row_count, detail="back_map pos pruned")
+        return result
 
     if order_keys is not None:
         key_columns = [name for name in order_keys.column_names if name != "iter"]

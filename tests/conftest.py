@@ -89,4 +89,6 @@ def all_options_off() -> EngineOptions:
         order_optimization=False,
         positional_lookup=False,
         existential_aggregates=False,
+        projection_pushdown=False,
+        subplan_sharing=False,
     )

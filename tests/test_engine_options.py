@@ -17,6 +17,9 @@ QUERIES = [
     "return count($t)",
     "for $x in (3, 1, 2) order by $x return $x",
     "sum(//price)",
+    "for $x in (1 to 3, 10 to 12) return $x",
+    "for $x in (/site/people/person, /site/regions//item) "
+    "return $x/name/text()",
 ]
 
 
@@ -30,7 +33,8 @@ class TestAblationsPreserveSemantics:
     @pytest.mark.parametrize("flag", ["loop_lifted_child", "loop_lifted_descendant",
                                       "nametest_pushdown", "join_recognition",
                                       "order_optimization", "positional_lookup",
-                                      "existential_aggregates"])
+                                      "existential_aggregates",
+                                      "projection_pushdown", "subplan_sharing"])
     def test_single_flag_off_matches_default(self, engine, flag):
         query = QUERIES[3]
         expected = engine.query(query).items

@@ -1,0 +1,151 @@
+"""``MonetXQuery.prepare`` and the LRU prepared-plan cache.
+
+A repeated query must hit the cache — observable through the cache
+counters, the ``plan.cache.hit`` explain record and a parse counter — and
+return identical results.  The cache key covers query text, engine options
+and the document-store schema version, so loading/dropping documents and
+committing updates invalidate stale plans.
+"""
+
+import pytest
+
+from repro import MonetXQuery, PreparedQuery, XMLUpdater
+from repro.relational import capture
+from repro.xquery import engine as engine_module
+
+
+DOC = ("<site><people>"
+       "<person id=\"p0\"><name>Alice</name></person>"
+       "<person id=\"p1\"><name>Bob</name></person>"
+       "</people></site>")
+
+QUERY = "for $p in /site/people/person return $p/name/text()"
+
+
+@pytest.fixture
+def mxq() -> MonetXQuery:
+    engine = MonetXQuery()
+    engine.load_document_text(DOC, name="doc.xml")
+    return engine
+
+
+class TestPrepare:
+    def test_prepare_returns_a_runnable_prepared_query(self, mxq):
+        prepared = mxq.prepare(QUERY)
+        assert isinstance(prepared, PreparedQuery)
+        assert prepared.run().strings() == ["Alice", "Bob"]
+
+    def test_repeated_prepare_returns_the_cached_object(self, mxq):
+        first = mxq.prepare(QUERY)
+        second = mxq.prepare(QUERY)
+        assert first is second
+        assert mxq.plan_cache_stats.hits == 1
+        assert mxq.plan_cache_stats.misses == 1
+
+    def test_repeated_query_hits_without_recompiling(self, mxq, monkeypatch):
+        parses = []
+        original = engine_module.parser.parse
+
+        def counting_parse(text):
+            parses.append(text)
+            return original(text)
+
+        monkeypatch.setattr(engine_module.parser, "parse", counting_parse)
+        first = mxq.query(QUERY)
+        second = mxq.query(QUERY)
+        assert first.serialize() == second.serialize()
+        assert len(parses) == 1          # the second run skipped the compiler
+        assert mxq.plan_cache_stats.hits == 1
+
+    def test_cache_hit_is_recorded_on_the_trace(self, mxq):
+        mxq.query(QUERY)
+        with capture() as trace:
+            mxq.query(QUERY)
+        assert trace.count("plan.cache.hit") == 1
+        assert trace.count("plan.cache.miss") == 0
+
+    def test_explain_renders_the_optimized_plan(self, mxq):
+        dump = mxq.explain(QUERY)
+        assert "flwor" in dump
+        assert "step" in dump
+        assert "rewrites" in dump
+
+
+class TestInvalidation:
+    def test_loading_a_document_invalidates(self, mxq):
+        mxq.query(QUERY)
+        mxq.load_document_text("<extra/>", name="extra.xml",
+                               default_context=False)
+        with capture() as trace:
+            mxq.query(QUERY)
+        assert trace.count("plan.cache.miss") == 1
+
+    def test_dropping_a_document_invalidates(self, mxq):
+        mxq.load_document_text("<extra/>", name="extra.xml",
+                               default_context=False)
+        mxq.query(QUERY)
+        mxq.drop_document("extra.xml")
+        with capture() as trace:
+            mxq.query(QUERY)
+        assert trace.count("plan.cache.miss") == 1
+
+    def test_update_commit_invalidates_and_refreshes(self, mxq):
+        assert mxq.query(QUERY).strings() == ["Alice", "Bob"]
+        updater = XMLUpdater(mxq, "doc.xml")
+        [target] = updater.select(
+            '/site/people/person[@id = "p0"]/name/text()')
+        updater.replace_value(target, "Carol")
+        updater.commit()
+        assert mxq.query(QUERY).strings() == ["Carol", "Bob"]
+
+    def test_options_are_part_of_the_key(self, mxq):
+        mxq.query(QUERY)
+        mxq.query(QUERY, options=mxq.options.replace(join_recognition=False))
+        assert mxq.plan_cache_stats.hits == 0
+        assert mxq.plan_cache_stats.misses == 2
+
+
+class TestLRUBehaviour:
+    def test_capacity_evicts_least_recently_used(self):
+        engine = MonetXQuery(plan_cache_size=2)
+        engine.load_document_text(DOC, name="doc.xml")
+        engine.query("count(//person)")          # A
+        engine.query("count(//name)")            # B
+        engine.query("count(//person)")          # A again: hit, A is MRU
+        engine.query("count(/site)")             # C: evicts B
+        assert engine.plan_cache_stats.evictions == 1
+        engine.query("count(//name)")            # B again: must miss
+        assert engine.plan_cache_stats.misses == 4
+        assert engine.plan_cache_stats.hits == 1
+
+    def test_zero_capacity_disables_caching(self):
+        engine = MonetXQuery(plan_cache_size=0)
+        engine.load_document_text(DOC, name="doc.xml")
+        engine.query(QUERY)
+        engine.query(QUERY)
+        assert engine.plan_cache_stats.hits == 0
+        assert engine.plan_cache_stats.misses == 2
+
+    def test_clear_plan_cache(self, mxq):
+        mxq.query(QUERY)
+        mxq.clear_plan_cache()
+        mxq.query(QUERY)
+        assert mxq.plan_cache_stats.hits == 0
+        assert mxq.plan_cache_stats.misses == 2
+
+
+class TestCachedResultsStayCorrect:
+    def test_repeated_xmark_query_is_identical(self, xmark_engine):
+        from repro.xmark import xmark_query
+        text = xmark_query(8)
+        first = xmark_engine.query(text)
+        with capture() as trace:
+            second = xmark_engine.query(text)
+        assert trace.count("plan.cache.hit") == 1
+        assert first.serialize() == second.serialize()
+
+    def test_prepared_query_sees_new_document_content(self, mxq):
+        # the plan is logical: execution reads the store at run() time
+        prepared = mxq.prepare("count(//person)")
+        assert prepared.run().items == [2]
+        assert prepared.run().items == [2]

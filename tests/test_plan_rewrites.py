@@ -1,0 +1,253 @@
+"""The logical plan layer and its rewrite optimizer.
+
+Covers the plan DAG (hash-consing), the three rewrite families — join
+recognition, projection pushdown / dead-column pruning, common-subplan
+sharing — and the observability hooks (explain counters, plan dumps) the
+architecture documentation promises.
+"""
+
+import pytest
+
+from repro import EngineOptions, MonetXQuery
+from repro.relational import capture, optimize
+from repro.relational.plan import PlanBuilder, count_references, render_plan
+from repro.relational.rewrites import FULL_COLUMNS
+from repro.xquery import parse, plan_module
+
+
+class TestPlanBuilding:
+    def test_hash_consing_shares_structurally_equal_nodes(self):
+        builder = PlanBuilder()
+        a = builder.node("step", (builder.node("root"),), axis="child",
+                         test_name="site")
+        b = builder.node("step", (builder.node("root"),), axis="child",
+                         test_name="site")
+        assert a is b
+
+    def test_distinct_params_make_distinct_nodes(self):
+        builder = PlanBuilder()
+        a = builder.node("step", (builder.node("root"),), test_name="a")
+        b = builder.node("step", (builder.node("root"),), test_name="b")
+        assert a is not b
+
+    def test_repeated_subexpression_has_refcount_two(self):
+        module = parse("count(//person) + count(//person)")
+        plan = plan_module(module)
+        references = count_references([plan.body])
+        shared = [node for node in plan.body.walk()
+                  if references[node.id] > 1 and node.kind == "call"]
+        assert len(shared) == 1
+
+    def test_path_prefixes_are_shared(self):
+        module = parse("count(/site/people/person/name)"
+                       " + count(/site/people/person/address)")
+        plan = plan_module(module)
+        references = count_references([plan.body])
+        prefix_steps = [node for node in plan.body.walk()
+                        if node.kind == "step"
+                        and node.p("test_name") == "person"]
+        assert len(prefix_steps) == 1
+        assert references[prefix_steps[0].id] == 2
+
+    def test_render_plan_marks_shared_nodes(self):
+        module = parse("count(//a) + count(//a)")
+        plan = plan_module(module)
+        references = count_references([plan.body])
+        shared = {node.id for node in plan.body.walk()
+                  if references[node.id] > 1}
+        dump = render_plan(plan.body, shared=shared)
+        assert "shared" in dump
+
+
+class TestCommonSubplanSharing:
+    def test_shared_aggregate_executes_once(self, engine):
+        with capture() as trace:
+            result = engine.query("count(//person) + count(//person)")
+        assert result.items == [6]
+        assert trace.count("plan.cse.reuse") == 1
+
+    def test_sharing_disabled_recomputes(self, engine):
+        options = engine.options.replace(subplan_sharing=False)
+        with capture() as trace:
+            result = engine.query("count(//person) + count(//person)",
+                                  options=options)
+        assert result.items == [6]
+        assert trace.count("plan.cse.reuse") == 0
+
+    def test_shared_path_under_one_loop_reuses_result(self, engine):
+        query = ("for $p in /site/people/person "
+                 "return count($p/profile/interest) "
+                 "     + count($p/profile/interest)")
+        with capture() as trace:
+            result = engine.query(query)
+        assert result.items == [2, 2, 0]
+        assert trace.count("plan.cse.reuse") >= 1
+
+    def test_constructors_are_never_shared(self, engine):
+        # two structurally equal constructors must create two distinct nodes
+        result = engine.query("(<x/>, <x/>)")
+        assert len(result.items) == 2
+        assert result.items[0] != result.items[1]
+
+    def test_sharing_preserves_results(self, engine):
+        queries = [
+            "count(//person) + count(//person)",
+            "sum(//price) + sum(//price)",
+            "(count(/site/people/person), count(/site/people/person))",
+        ]
+        for query in queries:
+            fast = engine.query(query).items
+            slow = engine.query(
+                query, options=engine.options.replace(subplan_sharing=False)).items
+            assert fast == slow
+
+
+class TestProjectionPushdown:
+    def test_count_context_prunes_positions(self, engine):
+        query = "count(for $p in /site/people/person return $p/name)"
+        with capture() as trace:
+            result = engine.query(query)
+        assert result.items == [3]
+        assert trace.count("project.pushdown") > 0
+
+    def test_pushdown_disabled_keeps_renumbering(self, engine):
+        query = "count(for $p in /site/people/person return $p/name)"
+        options = engine.options.replace(projection_pushdown=False)
+        with capture() as trace:
+            result = engine.query(query, options=options)
+        assert result.items == [3]
+        assert trace.count("project.pushdown") == 0
+
+    def test_pushdown_skips_rownum_operators(self, engine):
+        query = "count(for $p in /site/people/person return $p/name)"
+        with capture() as optimized:
+            engine.query(query)
+        with capture() as naive:
+            engine.query(query, options=engine.options.replace(
+                projection_pushdown=False))
+        assert optimized.count("rownum.streaming") + \
+            optimized.count("rownum.sorting") < \
+            naive.count("rownum.streaming") + naive.count("rownum.sorting")
+
+    def test_required_columns_annotated_on_plan(self, engine):
+        prepared = engine.prepare(
+            "count(for $p in /site/people/person return $p/name)")
+        pruned = [node for node in prepared.plan.body.walk()
+                  if prepared.plan.required_columns(node) != FULL_COLUMNS]
+        assert pruned, "expected at least one operator with pruned columns"
+        assert "cols=[iter,item]" in prepared.explain()
+
+    def test_positional_predicates_keep_positions(self, engine):
+        # bidder[1] addresses the pos column: the base must stay unpruned
+        result = engine.query(
+            "count(for $a in /site/open_auctions/open_auction "
+            "return $a/bidder[1])")
+        assert result.items == [1]
+
+    def test_multi_part_binding_sequence_keeps_order(self, engine):
+        # regression: the pruned union of a multi-part for-sequence must not
+        # let stale per-branch pos values act as sort keys downstream
+        result = engine.query("for $x in (1 to 3, 10 to 12) return $x")
+        assert result.items == [1, 2, 3, 10, 11, 12]
+        mixed = engine.query(
+            "for $x in (/site/people/person, /site/regions//item) "
+            "return $x/name/text()")
+        assert mixed.strings() == \
+            engine.query(
+                "for $x in (/site/people/person, /site/regions//item) "
+                "return $x/name/text()",
+                options=engine.options.replace(
+                    projection_pushdown=False)).strings()
+
+    def test_pushdown_preserves_results(self, engine, xmark_engine):
+        queries = [
+            "count(//person)",
+            "count(for $p in /site/people/person return $p/name)",
+            "sum(for $a in /site/open_auctions/open_auction "
+            "    return count($a/bidder))",
+            "for $p in /site/people/person "
+            "where count($p/profile) > 0 return $p/name/text()",
+            "count(for $x in (1, 2, 3) return ($x, $x + 10))",
+            "for $x in (1 to 3, 10 to 12) return $x * 2",
+        ]
+        for target in (engine, xmark_engine):
+            for query in queries:
+                fast = target.query(query).items
+                slow = target.query(query, options=target.options.replace(
+                    projection_pushdown=False)).items
+                assert fast == slow
+
+
+class TestJoinRecognitionRule:
+    QUERY = ("for $p in /site/people/person "
+             "for $c in /site/closed_auctions/closed_auction "
+             "where $c/buyer/@person = $p/@id "
+             "return $p/name/text()")
+
+    def test_rule_fires_and_annotates_the_plan(self, engine):
+        prepared = engine.prepare(self.QUERY)
+        assert prepared.plan.report.fired("join-recognition")
+        annotated = [node for node in prepared.plan.body.walk()
+                     if node.kind == "flwor" and node.p("join") is not None]
+        assert len(annotated) == 1
+        assert "join-recognized" in prepared.explain()
+
+    def test_rule_respects_engine_option(self, engine):
+        options = engine.options.replace(join_recognition=False)
+        prepared = engine.prepare(self.QUERY, options=options)
+        assert not prepared.plan.report.fired("join-recognition")
+
+    def test_join_plan_matches_nested_loop_results(self, engine):
+        fast = engine.query(self.QUERY).strings()
+        slow = engine.query(self.QUERY, options=engine.options.replace(
+            join_recognition=False)).strings()
+        assert fast == slow
+
+    def test_dependent_inner_sequence_is_not_annotated(self, engine):
+        # $p/profile depends on the outer binding: not loop-invariant
+        prepared = engine.prepare(
+            "for $p in /site/people/person "
+            "for $i in $p/profile/interest "
+            "where $i/@category = \"cat1\" "
+            "return $p/name/text()")
+        assert not prepared.plan.report.fired("join-recognition")
+
+    def test_rule_fires_inside_global_declarations(self, engine):
+        query = (
+            "declare variable $buyers := "
+            " for $p in /site/people/person "
+            " for $c in /site/closed_auctions/closed_auction "
+            " where $c/buyer/@person = $p/@id "
+            " return $p; "
+            "count($buyers)")
+        prepared = engine.prepare(query)
+        assert prepared.plan.report.fired("join-recognition")
+        assert engine.query(query).items == \
+            engine.query(query, options=engine.options.replace(
+                join_recognition=False)).items
+
+
+class TestRewriteAblations:
+    QUERIES = [
+        "count(//person)",
+        "count(//person) + count(//person)",
+        "count(for $p in /site/people/person return $p/name)",
+        "for $x in (3, 1, 2) order by $x return $x",
+        "for $p in /site/people/person "
+        "let $t := for $c in /site/closed_auctions/closed_auction "
+        "          where $c/buyer/@person = $p/@id return $c "
+        "return count($t)",
+    ]
+
+    @pytest.mark.parametrize("flag", ["projection_pushdown", "subplan_sharing"])
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_new_flags_preserve_semantics(self, engine, flag, query):
+        expected = engine.query(query).items
+        options = engine.options.replace(**{flag: False})
+        assert engine.query(query, options=options).items == expected
+
+    def test_optimize_reports_are_deterministic(self):
+        module = parse("count(//a) + count(//a)")
+        first = optimize(plan_module(module), EngineOptions())
+        second = optimize(plan_module(module), EngineOptions())
+        assert first.report.entries == second.report.entries
