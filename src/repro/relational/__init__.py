@@ -15,6 +15,7 @@ The subpackage provides:
 * :mod:`~repro.relational.explain` — operator trace and algorithm counters.
 """
 
+from .cardinality import CardinalityEstimator, StoreStatistics
 from .column import Column
 from .explain import Trace, capture
 from .plan import PlanBuilder, PlanNode, count_references, render_plan
@@ -24,6 +25,7 @@ from .table import Table
 from . import operators, positional, sorting
 
 __all__ = [
+    "CardinalityEstimator",
     "Column",
     "ColumnProps",
     "GroupOrder",
@@ -31,6 +33,7 @@ __all__ = [
     "PlanBuilder",
     "PlanNode",
     "RewriteReport",
+    "StoreStatistics",
     "Table",
     "TableProps",
     "Trace",

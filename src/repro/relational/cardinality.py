@@ -1,0 +1,219 @@
+"""Cardinality estimation for logical plans from document-store statistics.
+
+MonetDB/XQuery's optimizer decisions (Section 4.1) are driven by properties
+of the data, not just the query text; the per-tag element counts that the
+document containers collect at shred time (the "loaded documents" side of
+Figure 9) are exactly the statistic needed to size the inputs of a value
+join before running it.  This module turns those counts into per-subplan
+row estimates:
+
+* :class:`StoreStatistics` — an immutable snapshot of the store's per-tag
+  element counts (taken at plan-optimization time; prepared plans are cached
+  against the store's schema version, so a snapshot can never go stale
+  inside a cached plan),
+* :class:`CardinalityEstimator` — a memoised bottom-up walk over
+  :class:`~repro.relational.plan.PlanNode` DAGs.  Absolute location paths
+  are estimated from the tag counts (``/site/people/person`` → the number
+  of ``person`` elements); relative paths, variables and scalar operators
+  fall back to small structural defaults.
+
+The estimates feed the cost-based join rules in
+:mod:`repro.relational.rewrites`: recognized value joins are ordered
+smallest-build-side-first and the smaller join input is chosen as the hash
+build side.  Estimates are heuristics — they steer plan choices and are
+surfaced in ``explain()`` dumps, but never affect query results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import PlanNode
+
+
+#: default selectivity of one predicate / where-conjunct (the classic 1/2)
+PREDICATE_SELECTIVITY = 0.5
+
+#: fallback row estimate for expressions the model cannot size (variables,
+#: relative paths per context node, function calls)
+DEFAULT_ROWS = 1.0
+
+
+@dataclass(frozen=True)
+class StoreStatistics:
+    """A snapshot of the document store's cardinality statistics.
+
+    ``tag_counts`` maps a local element name to its total element count
+    across all loaded documents; ``document_count`` of 0 means "no
+    statistics" and disables cost-based decisions.
+    """
+
+    tag_counts: Mapping[str, int] = field(default_factory=dict)
+    total_nodes: int = 0
+    total_elements: int = 0
+    document_count: int = 0
+
+    @classmethod
+    def from_store(cls, store: Any) -> "StoreStatistics":
+        """Snapshot a :class:`~repro.xml.document.DocumentStore` (duck-typed
+        to keep this module free of xml-layer imports)."""
+        tag_counts: dict[str, int] = {}
+        total_nodes = 0
+        total_elements = 0
+        containers = store.containers()
+        for container in containers:
+            total_nodes += container.node_count
+            total_elements += container.element_count
+            for tag, count in container.tag_counts().items():
+                tag_counts[tag] = tag_counts.get(tag, 0) + count
+        return cls(tag_counts=tag_counts, total_nodes=total_nodes,
+                   total_elements=total_elements,
+                   document_count=len(containers))
+
+    @property
+    def available(self) -> bool:
+        return self.document_count > 0
+
+    def tag_count(self, local: str) -> int:
+        return self.tag_counts.get(local, 0)
+
+
+EMPTY_STATISTICS = StoreStatistics()
+
+
+class CardinalityEstimator:
+    """Per-subplan row estimates over a logical plan DAG (memoised).
+
+    ``estimate(node)`` returns the expected number of items the subplan
+    yields *per iteration of its enclosing loop*; loop multipliers are
+    applied by the caller (the rewrite pass threads the ambient loop size
+    when comparing join sides).
+    """
+
+    def __init__(self, statistics: StoreStatistics | None = None):
+        self.statistics = statistics if statistics is not None \
+            else EMPTY_STATISTICS
+        self._memo: dict[int, float] = {}
+        self._absolute: dict[int, bool] = {}
+
+    @property
+    def available(self) -> bool:
+        return self.statistics.available
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, node: "PlanNode") -> float:
+        cached = self._memo.get(node.id)
+        if cached is not None:
+            return cached
+        result = max(0.0, self._compute(node))
+        self._memo[node.id] = result
+        return result
+
+    def is_absolute(self, node: "PlanNode") -> bool:
+        """Whether a step chain is rooted at the context document root —
+        only then do the store-wide tag counts size it directly."""
+        cached = self._absolute.get(node.id)
+        if cached is None:
+            if node.kind == "root":
+                cached = True
+            elif node.kind == "step":
+                cached = self.is_absolute(node.children[0])
+            else:
+                cached = False
+            self._absolute[node.id] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    def _compute(self, node: "PlanNode") -> float:
+        kind = node.kind
+        if kind in ("const", "context", "root", "var", "avt", "elem", "text"):
+            return 1.0
+        if kind == "empty":
+            return 0.0
+        if kind in ("cmp-general", "cmp-value", "arith", "unary", "and", "or",
+                    "quantified"):
+            return 1.0
+        if kind == "range":
+            return self._range_estimate(node)
+        if kind == "seq":
+            return sum(self.estimate(child) for child in node.children)
+        if kind == "if":
+            _, then_branch, else_branch = node.children
+            return max(self.estimate(then_branch), self.estimate(else_branch))
+        if kind == "step":
+            return self._step_estimate(node)
+        if kind == "filter":
+            base = self.estimate(node.children[0])
+            return base * PREDICATE_SELECTIVITY ** (len(node.children) - 1)
+        if kind == "call":
+            return self._call_estimate(node)
+        if kind == "flwor":
+            return self._flwor_estimate(node)
+        if kind in ("for", "let"):
+            return self.clause_estimate(node)
+        if kind == "orderspec":
+            return self.estimate(node.children[0])
+        return DEFAULT_ROWS
+
+    def _range_estimate(self, node: "PlanNode") -> float:
+        start, end = node.children
+        if start.kind == "const" and end.kind == "const" \
+                and isinstance(start.p("value"), (int, float)) \
+                and isinstance(end.p("value"), (int, float)):
+            return max(0.0, float(end.p("value")) - float(start.p("value")) + 1)
+        return 10.0
+
+    def _step_estimate(self, node: "PlanNode") -> float:
+        context_est = self.estimate(node.children[0])
+        predicates = len(node.children) - 1
+        selectivity = PREDICATE_SELECTIVITY ** predicates
+        name = node.p("test_name")
+        axis = node.p("axis")
+        if name not in (None, "*") and node.p("test_kind") == "element":
+            if self.is_absolute(node):
+                # an absolute chain reaches every instance of the tag
+                return self.statistics.tag_count(name) * selectivity
+            # relative step: roughly one match per context node, but never
+            # more than the tag population
+            population = self.statistics.tag_count(name)
+            return min(context_est, float(population)) * selectivity \
+                if self.statistics.available else context_est * selectivity
+        if axis == "attribute":
+            return context_est * selectivity
+        if axis in ("descendant", "descendant-or-self") \
+                and self.statistics.available and self.is_absolute(node):
+            return self.statistics.total_elements * selectivity
+        return context_est * selectivity
+
+    def _call_estimate(self, node: "PlanNode") -> float:
+        name = node.p("name")
+        if name.startswith("fn:"):
+            name = name[3:]
+        if name in ("count", "sum", "avg", "min", "max", "exists", "empty",
+                    "not", "string", "number", "position", "last", "doc",
+                    "zero-or-one", "exactly-one", "string-length",
+                    "contains", "starts-with", "ends-with"):
+            return 1.0
+        if name == "distinct-values" and node.children:
+            return self.estimate(node.children[0])
+        if node.children:
+            return max(self.estimate(child) for child in node.children)
+        return 1.0
+
+    def _flwor_estimate(self, node: "PlanNode") -> float:
+        nclauses = node.p("nclauses")
+        rows = 1.0
+        for clause in node.children[:nclauses]:
+            if clause.kind == "for":
+                rows *= self.clause_estimate(clause)
+        if node.p("has_where"):
+            rows *= PREDICATE_SELECTIVITY
+        return rows * self.estimate(node.children[-1])
+
+    def clause_estimate(self, clause: "PlanNode") -> float:
+        """Rows bound by one ``for``/``let`` clause, including pushed-down
+        plan-level predicates."""
+        rows = self.estimate(clause.children[0])
+        return rows * PREDICATE_SELECTIVITY ** (len(clause.children) - 1)

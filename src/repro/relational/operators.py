@@ -510,7 +510,8 @@ def rownum(table: Table, name: str, order_by: Sequence[str], *,
 # --------------------------------------------------------------------------- #
 # aggregation
 # --------------------------------------------------------------------------- #
-_AGGREGATES = {"count", "sum", "min", "max", "avg", "first", "last"}
+_AGGREGATES = {"count", "sum", "min", "max", "avg", "first", "last",
+               "min-value", "max-value"}
 
 
 def aggregate(table: Table, group_by: str | None,
@@ -576,6 +577,13 @@ def _aggregate_value(kind: str, values: Sequence[Any]) -> Any:
         return values[0] if values else None
     if kind == "last":
         return values[-1] if values else None
+    if kind in ("min-value", "max-value"):
+        # order-preserving extremum: no numeric coercion (used by the
+        # existential min/max join plan on the string-typed domain)
+        if not values:
+            return None
+        chooser = min if kind == "min-value" else max
+        return chooser(values, key=total_order_key)
     numeric = [_as_number(value) for value in values]
     numeric = [value for value in numeric if value is not None]
     if kind == "sum":

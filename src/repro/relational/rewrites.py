@@ -2,15 +2,27 @@
 
 Pathfinder rewrites its relational DAG before emitting physical algebra;
 this module is the equivalent pass over the logical plans built by
-:mod:`repro.xquery.planner`.  Three rewrite families run here:
+:mod:`repro.xquery.planner`.  The rewrite families:
 
+* **predicate pushdown** — a ``where`` conjunct that mentions exactly one
+  of the FLWOR's own ``for`` variables (everything else constant: globals,
+  the context item) is moved *into* that clause as a plan-level predicate,
+  filtering the binding sequence before any join sees it,
 * **join recognition** (Section 4.1, the ``indep`` property) — relocated
   from the ad-hoc runtime check the compiler used to perform: a ``for``
   clause whose binding sequence is *loop-invariant* (its free variables
   are disjoint from the enclosing bindings) paired with an existential
   comparison in the ``where`` clause is annotated as a value join.  The
   executor then evaluates the binding sequence once and theta-joins it
-  against the outer loop instead of building a lifted Cartesian product,
+  against the outer loop instead of building a lifted Cartesian product.
+  *All* such (clause, conjunct) pairs of a FLWOR are recognized, not just
+  the first syntactic match,
+* **cost-based join ordering** — per-subplan row estimates derived from
+  the document store's per-tag element counts
+  (:mod:`repro.relational.cardinality`) size both inputs of every
+  recognized join: the smaller input is chosen as the hash build side,
+  and independent join clauses are scheduled smallest-build-first (the
+  executor restores the syntactic tuple order afterwards),
 * **projection pushdown / dead-column pruning** — a required-columns
   analysis over the ``iter|pos|item`` encoding: contexts that ignore
   sequence order and positions (aggregates such as ``count``, existential
@@ -22,9 +34,9 @@ this module is the equivalent pass over the logical plans built by
   marks the shared, side-effect-free nodes so the executor can memoise
   their result per (loop, environment) and execute them once.
 
-All analyses are side tables keyed by ``PlanNode.id``; only join
-recognition rebuilds plan nodes (adding the ``join`` annotation), which is
-why it runs first.
+All analyses are side tables keyed by ``PlanNode.id``; only the FLWOR
+rules rebuild plan nodes (moving conjuncts, adding the ``join``/``joins``/
+``clause_order`` annotations), which is why they run first.
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
+from .cardinality import CardinalityEstimator, StoreStatistics
 from .plan import PlanBuilder, PlanNode, count_references, render_plan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,6 +84,42 @@ _TRIVIAL_KINDS = frozenset({
 
 def _strip_fn(name: str) -> str:
     return name[3:] if name.startswith("fn:") else name
+
+
+def flatten_conjuncts(where: PlanNode) -> list[PlanNode]:
+    """The conjuncts of a ``where`` condition (nested ``and`` flattened).
+
+    The rewrite rules and the executor must agree on conjunct indexing —
+    both use this helper.
+    """
+    if where.kind != "and":
+        return [where]
+    conjuncts: list[PlanNode] = []
+    for child in where.children:
+        conjuncts.extend(flatten_conjuncts(child))
+    return conjuncts
+
+
+@dataclass(frozen=True)
+class JoinEstimate:
+    """Cardinality estimates attached to one recognized value join.
+
+    ``build_rows`` sizes the loop-invariant binding sequence (after pushed
+    predicates); ``probe_rows`` sizes the other comparison side across the
+    enclosing loop.  ``build_side`` records which input the executor hands
+    to the hash/index build of the existential theta-join.
+    """
+
+    clause: int
+    conjunct: int
+    side: int
+    build_rows: float
+    probe_rows: float
+    build_side: str                      # "binding" | "outer"
+
+    def render(self) -> str:
+        return (f"est[build~{self.build_rows:.0f} probe~{self.probe_rows:.0f} "
+                f"build-side={self.build_side}]")
 
 
 @dataclass
@@ -142,6 +191,9 @@ class FreeVariables:
                 bound.add(clause.p("var"))
                 if clause.kind == "for" and clause.p("posvar"):
                     bound.add(clause.p("posvar"))
+                # pushed-down plan-level predicates see the clause variable
+                for predicate in clause.children[1:]:
+                    free |= self(predicate) - bound
             for child in node.children[nclauses:]:
                 free |= self(child) - bound
             return frozenset(free)
@@ -211,6 +263,9 @@ class OptimizedModulePlan:
     impure: frozenset[int]
     free: FreeVariables
     report: RewriteReport
+    #: flwor node id -> cardinality estimates of its recognized joins
+    join_estimates: dict[int, tuple[JoinEstimate, ...]] = \
+        field(default_factory=dict)
 
     def required_columns(self, node: PlanNode) -> frozenset[str]:
         return self.cols.get(node.id, FULL_COLUMNS)
@@ -240,10 +295,19 @@ class OptimizedModulePlan:
             if node.id in self.shared:
                 notes.append("(shared)")
             if node.kind == "flwor" and node.p("join") is not None:
-                clause_index, conjunct_index, v_side = node.p("join")
-                notes.append(
-                    f"join-recognized[clause={clause_index},"
-                    f"conjunct={conjunct_index},side={v_side}]")
+                triples = node.p("joins") or (node.p("join"),)
+                estimates = {(e.clause, e.conjunct, e.side): e
+                             for e in self.join_estimates.get(node.id, ())}
+                for triple in triples:
+                    clause_index, conjunct_index, v_side = triple
+                    note = (f"join-recognized[clause={clause_index},"
+                            f"conjunct={conjunct_index},side={v_side}]")
+                    estimate = estimates.get(tuple(triple))
+                    if estimate is not None:
+                        note += " " + estimate.render()
+                    notes.append(note)
+            if node.kind == "for" and len(node.children) > 1:
+                notes.append(f"pushed-predicates={len(node.children) - 1}")
             return " ".join(notes)
 
         sections = []
@@ -263,27 +327,40 @@ class OptimizedModulePlan:
         return "\n".join(sections)
 
 
-def optimize(module_plan: "ModulePlan", options: Any = None) -> OptimizedModulePlan:
+def optimize(module_plan: "ModulePlan", options: Any = None,
+             statistics: StoreStatistics | None = None) -> OptimizedModulePlan:
     """Run the rewrite pipeline over a module's logical plans.
 
     ``options`` is the engine's :class:`~repro.xquery.engine.EngineOptions`
-    (or any object with ``join_recognition``, ``projection_pushdown`` and
-    ``subplan_sharing`` attributes); ``None`` enables every rewrite.
+    (or any object with ``join_recognition``, ``predicate_pushdown``,
+    ``cost_based_joins``, ``projection_pushdown`` and ``subplan_sharing``
+    attributes); ``None`` enables every rewrite.  ``statistics`` is a
+    document-store snapshot feeding the cardinality estimates; without it
+    joins are still recognized but not cost-ordered.
     """
     join_recognition = getattr(options, "join_recognition", True)
+    predicate_pushdown = getattr(options, "predicate_pushdown", True)
+    cost_based_joins = getattr(options, "cost_based_joins", True)
     projection_pushdown = getattr(options, "projection_pushdown", True)
     subplan_sharing = getattr(options, "subplan_sharing", True)
 
     report = RewriteReport()
     free = FreeVariables(module_plan.functions)
+    estimator = CardinalityEstimator(statistics)
 
-    # 1. join recognition (rebuilds flwor nodes, so it runs first)
+    # 1. FLWOR rules: predicate pushdown, join recognition, cost-based
+    #    ordering (they rebuild flwor nodes, so they run first)
     body = module_plan.body
     globals_ = list(module_plan.globals)
     functions = dict(module_plan.functions)
-    if join_recognition:
-        rule = _JoinRecognition(module_plan.builder, free,
-                                module_plan.global_names, report)
+    join_estimates: dict[int, tuple[JoinEstimate, ...]] = {}
+    if join_recognition or predicate_pushdown:
+        rule = _FlworRewrites(module_plan.builder, free,
+                              module_plan.global_names, report,
+                              join_recognition=join_recognition,
+                              predicate_pushdown=predicate_pushdown,
+                              cost_based=cost_based_joins,
+                              estimator=estimator)
         body = rule.rewrite(body, frozenset())
         globals_ = [(name, rule.rewrite(plan, frozenset()))
                     for name, plan in globals_]
@@ -295,6 +372,7 @@ def optimize(module_plan: "ModulePlan", options: Any = None) -> OptimizedModuleP
                                         new_body)
             rebuilt_functions[name] = planned
         functions = rebuilt_functions
+        join_estimates = rule.join_estimates
         # free-variable sets of rebuilt nodes are recomputed lazily
         free = FreeVariables(functions)
 
@@ -330,30 +408,48 @@ def optimize(module_plan: "ModulePlan", options: Any = None) -> OptimizedModuleP
     return OptimizedModulePlan(body=body, globals=globals_,
                                functions=functions, cols=cols,
                                shared=shared, impure=impure, free=free,
-                               report=report)
+                               report=report, join_estimates=join_estimates)
 
 
 # --------------------------------------------------------------------------- #
-# join recognition
+# FLWOR rules: predicate pushdown, join recognition, cost-based ordering
 # --------------------------------------------------------------------------- #
-class _JoinRecognition:
-    """Annotate FLWOR nodes whose for-clause + where-conjunct pair forms a
-    loop-invariant value join (the paper's ``indep``-driven rewrite)."""
+class _FlworRewrites:
+    """Rebuild FLWOR nodes: move single-variable ``where`` conjuncts into
+    their ``for`` clause as plan-level predicates, annotate every
+    loop-invariant for-clause + existential-comparison pair as a value join
+    (the paper's ``indep``-driven rewrite), and — when statistics are
+    available — size both join inputs, pick the hash build side and order
+    independent join clauses smallest-build-first (``clause_order``)."""
 
     def __init__(self, builder: PlanBuilder, free: FreeVariables,
-                 global_names: frozenset[str], report: RewriteReport):
+                 global_names: frozenset[str], report: RewriteReport, *,
+                 join_recognition: bool = True,
+                 predicate_pushdown: bool = True,
+                 cost_based: bool = True,
+                 estimator: CardinalityEstimator | None = None):
         self.builder = builder
         self.free = free
         self.global_names = global_names
         self.report = report
-        self._memo: dict[tuple[int, frozenset[str]], PlanNode] = {}
+        self.join_recognition = join_recognition
+        self.predicate_pushdown = predicate_pushdown
+        self.estimator = estimator if estimator is not None \
+            else CardinalityEstimator()
+        self.multi_join = join_recognition and cost_based
+        self.cost_based = cost_based and self.estimator.available
+        self.join_estimates: dict[int, tuple[JoinEstimate, ...]] = {}
+        self._memo: dict[tuple[int, frozenset[str], float], PlanNode] = {}
 
-    def rewrite(self, node: PlanNode, bound: frozenset[str]) -> PlanNode:
-        key = (node.id, bound & self.free(node))
+    def rewrite(self, node: PlanNode, bound: frozenset[str],
+                loop_est: float = 1.0) -> PlanNode:
+        if not self.cost_based:
+            loop_est = 1.0                      # keep memo keys stable
+        key = (node.id, bound & self.free(node), loop_est)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
-        result = self._rewrite(node, bound)
+        result = self._rewrite(node, bound, loop_est)
         self._memo[key] = result
         return result
 
@@ -365,88 +461,277 @@ class _JoinRecognition:
         params.update(extra)
         return self.builder.node(node.kind, children, **params)
 
-    def _rewrite(self, node: PlanNode, bound: frozenset[str]) -> PlanNode:
+    def _rewrite(self, node: PlanNode, bound: frozenset[str],
+                 loop_est: float) -> PlanNode:
         if node.kind == "flwor":
-            return self._rewrite_flwor(node, bound)
+            return self._rewrite_flwor(node, bound, loop_est)
         if node.kind == "quantified":
             variables = node.p("variables")
             children: list[PlanNode] = []
             inner = set(bound)
             for variable, sequence in zip(variables, node.children[:-1]):
-                children.append(self.rewrite(sequence, frozenset(inner)))
+                children.append(self.rewrite(sequence, frozenset(inner),
+                                             loop_est))
                 inner.add(variable)
-            children.append(self.rewrite(node.children[-1], frozenset(inner)))
+            children.append(self.rewrite(node.children[-1], frozenset(inner),
+                                         loop_est))
             return self._rebuild(node, tuple(children))
-        children = tuple(self.rewrite(child, bound) for child in node.children)
+        children = tuple(self.rewrite(child, bound, loop_est)
+                         for child in node.children)
         return self._rebuild(node, children)
 
-    def _rewrite_flwor(self, node: PlanNode, bound: frozenset[str]) -> PlanNode:
+    def _rewrite_flwor(self, node: PlanNode, bound: frozenset[str],
+                       loop_est: float) -> PlanNode:
         nclauses = node.p("nclauses")
         has_where = node.p("has_where")
-        norder = node.p("norder")
         clauses = list(node.children[:nclauses])
         rest = list(node.children[nclauses:])
 
         # rewrite clause binding sequences with the growing binding set,
-        # remembering the bindings visible *before* each clause
+        # remembering bindings and ambient loop size *before* each clause
         bound_before: list[frozenset[str]] = []
+        loop_before: list[float] = []
         inner = set(bound)
+        ambient = loop_est
         new_clauses: list[PlanNode] = []
         for clause in clauses:
             bound_before.append(frozenset(inner))
-            new_clauses.append(self._rebuild(
-                clause, (self.rewrite(clause.children[0], frozenset(inner)),)))
+            loop_before.append(ambient)
+            sequence = self.rewrite(clause.children[0], frozenset(inner),
+                                    ambient)
             inner.add(clause.p("var"))
             if clause.kind == "for" and clause.p("posvar"):
                 inner.add(clause.p("posvar"))
+            predicates = tuple(
+                self.rewrite(predicate, frozenset(inner), ambient)
+                for predicate in clause.children[1:])
+            new_clause = self._rebuild(clause, (sequence,) + predicates)
+            new_clauses.append(new_clause)
+            if clause.kind == "for" and self.cost_based:
+                ambient *= max(1.0, self.estimator.clause_estimate(new_clause))
         full_bound = frozenset(inner)
-        new_rest = [self.rewrite(child, full_bound) for child in rest]
+        new_rest = [self.rewrite(child, full_bound, ambient) for child in rest]
 
-        join = node.p("join")
-        if join is None and has_where:
-            where = new_rest[0]
-            join = self._match_join(new_clauses, bound_before, where)
-        if join is not None and node.p("join") is None:
-            clause = new_clauses[join[0]]
-            self.report.fire(
-                "join-recognition",
-                f"for ${clause.p('var')} evaluated as a value join "
-                f"(clause {join[0]}, where conjunct {join[1]})")
-            return self._rebuild(node, tuple(new_clauses + new_rest),
-                                 join=join)
-        return self._rebuild(node, tuple(new_clauses + new_rest))
+        where = new_rest[0] if has_where else None
+        already_annotated = node.p("join") is not None
 
-    def _match_join(self, clauses: list[PlanNode],
-                    bound_before: list[frozenset[str]],
-                    where: PlanNode) -> tuple[int, int, int] | None:
-        """First (clause, conjunct, v-side) triple forming a value join."""
-        conjuncts = list(where.children) if where.kind == "and" else [where]
+        # 1. predicate pushdown: single-variable conjuncts move into clauses
+        if self.predicate_pushdown and where is not None \
+                and not already_annotated:
+            where, new_clauses = self._push_predicates(where, new_clauses)
+
+        # 2. join recognition over the remaining conjuncts
+        triples: list[tuple[int, int, int]] = []
+        if already_annotated:
+            triples = [tuple(triple)
+                       for triple in (node.p("joins") or (node.p("join"),))]
+        elif self.join_recognition and where is not None:
+            triples = self._match_joins(new_clauses, bound_before,
+                                        flatten_conjuncts(where))
+            for clause_index, conjunct_index, _ in triples:
+                clause = new_clauses[clause_index]
+                self.report.fire(
+                    "join-recognition",
+                    f"for ${clause.p('var')} evaluated as a value join "
+                    f"(clause {clause_index}, where conjunct {conjunct_index})")
+
+        # 3. cost model: estimates, build sides, execution order
+        estimates: tuple[JoinEstimate, ...] = ()
+        clause_order: tuple[int, ...] | None = None
+        if triples and self.cost_based and where is not None:
+            conjuncts = flatten_conjuncts(where)
+            estimates = tuple(
+                self._estimate_join(triple, new_clauses, conjuncts,
+                                    loop_before)
+                for triple in triples)
+            schedule = self._schedule(new_clauses, estimates, conjuncts)
+            if schedule != tuple(range(nclauses)):
+                clause_order = schedule
+                self.report.fire(
+                    "cost-based-join-order",
+                    "join clauses scheduled smallest-build-first: "
+                    + ", ".join(str(index) for index in schedule))
+
+        # reassemble the node
+        tail = new_rest[1:] if has_where else new_rest
+        children = tuple(new_clauses) \
+            + ((where,) if where is not None else ()) + tuple(tail)
+        extra: dict[str, Any] = {}
+        if (where is not None) != bool(has_where):
+            extra["has_where"] = where is not None
+        if triples and not already_annotated:
+            extra["join"] = triples[0]
+            extra["joins"] = tuple(triples)
+        if clause_order is not None:
+            extra["clause_order"] = clause_order
+        new_node = self._rebuild(node, children, **extra)
+        if estimates:
+            self.join_estimates[new_node.id] = estimates
+        return new_node
+
+    # ------------------------------------------------------------------ #
+    # predicate pushdown
+    # ------------------------------------------------------------------ #
+    def _push_predicates(self, where: PlanNode, clauses: list[PlanNode]
+                         ) -> tuple[PlanNode | None, list[PlanNode]]:
+        """Move conjuncts that mention exactly one of this FLWOR's ``for``
+        variables (everything else constant) into that variable's clause."""
+        conjuncts = flatten_conjuncts(where)
+        clause_of_var = {clause.p("var"): index
+                         for index, clause in enumerate(clauses)}
+        flwor_vars = set(clause_of_var)
+        for clause in clauses:
+            if clause.kind == "for" and clause.p("posvar"):
+                flwor_vars.add(clause.p("posvar"))
+        allowed_rest = self.global_names | {"."}
+
+        remaining: list[PlanNode] = []
+        pushed: dict[int, list[PlanNode]] = {}
+        for conjunct in conjuncts:
+            conjunct_free = self.free(conjunct)
+            hits = conjunct_free & flwor_vars
+            target = None
+            if len(hits) == 1:
+                variable = next(iter(hits))
+                index = clause_of_var.get(variable)
+                if index is not None and clauses[index].kind == "for" \
+                        and clauses[index].p("posvar") is None \
+                        and conjunct_free - {variable} <= allowed_rest:
+                    target = index
+            if target is None:
+                remaining.append(conjunct)
+            else:
+                pushed.setdefault(target, []).append(conjunct)
+                self.report.fire(
+                    "predicate-pushdown",
+                    f"where conjunct on ${clauses[target].p('var')} pushed "
+                    f"into its for clause")
+        if not pushed:
+            return where, clauses
+
+        new_clauses = list(clauses)
+        for index, predicates in pushed.items():
+            clause = clauses[index]
+            children = clause.children + tuple(predicates)
+            new_clauses[index] = self._rebuild(clause, children,
+                                               npred=len(children) - 1)
+        if not remaining:
+            return None, new_clauses
+        if len(remaining) == 1:
+            return remaining[0], new_clauses
+        return self.builder.node("and", tuple(remaining)), new_clauses
+
+    # ------------------------------------------------------------------ #
+    # join recognition
+    # ------------------------------------------------------------------ #
+    def _match_joins(self, clauses: list[PlanNode],
+                     bound_before: list[frozenset[str]],
+                     conjuncts: list[PlanNode]
+                     ) -> list[tuple[int, int, int]]:
+        """All (clause, conjunct, v-side) triples forming value joins.
+
+        Clauses are scanned in syntactic order and each claims its first
+        eligible conjunct; with multi-join recognition disabled only the
+        first triple is returned (the legacy first-syntactic-match rule).
+        """
+        triples: list[tuple[int, int, int]] = []
+        claimed: set[int] = set()
         for clause_index, clause in enumerate(clauses):
             if clause.kind != "for" or clause.p("posvar") is not None:
                 continue
             variable = clause.p("var")
             outer = bound_before[clause_index]
-            sequence_free = self.free(clause.children[0])
-            # the binding sequence must be loop-invariant: no enclosing
-            # bindings, no dynamic position()/last() registers (the context
-            # document root is re-checked dynamically by the executor)
+            sequence_free = frozenset().union(
+                *(self.free(child) for child in clause.children)) - {variable}
+            # the binding sequence (and its pushed predicates) must be
+            # loop-invariant: no enclosing bindings, no dynamic
+            # position()/last() registers (the context document root is
+            # re-checked dynamically by the executor)
             if sequence_free & (outer | {"fs:position", "fs:last"}):
                 continue
             allowed_other = outer | self.global_names | {"."}
             for conjunct_index, conjunct in enumerate(conjuncts):
+                if conjunct_index in claimed:
+                    continue
                 if conjunct.kind != "cmp-general":
                     continue
                 left_free = self.free(conjunct.children[0])
                 right_free = self.free(conjunct.children[1])
+                triple = None
                 if (variable in left_free and variable not in right_free
                         and left_free - {variable, "."} <= self.global_names
                         and right_free <= allowed_other):
-                    return (clause_index, conjunct_index, 0)
-                if (variable in right_free and variable not in left_free
+                    triple = (clause_index, conjunct_index, 0)
+                elif (variable in right_free and variable not in left_free
                         and right_free - {variable, "."} <= self.global_names
                         and left_free <= allowed_other):
-                    return (clause_index, conjunct_index, 1)
-        return None
+                    triple = (clause_index, conjunct_index, 1)
+                if triple is not None:
+                    triples.append(triple)
+                    claimed.add(conjunct_index)
+                    break
+            if triples and not self.multi_join:
+                break
+        return triples
+
+    # ------------------------------------------------------------------ #
+    # cost model
+    # ------------------------------------------------------------------ #
+    def _estimate_join(self, triple: tuple[int, int, int],
+                       clauses: list[PlanNode], conjuncts: list[PlanNode],
+                       loop_before: list[float]) -> JoinEstimate:
+        clause_index, conjunct_index, v_side = triple
+        build = self.estimator.clause_estimate(clauses[clause_index])
+        other = conjuncts[conjunct_index].children[1 - v_side]
+        probe = loop_before[clause_index] * self.estimator.estimate(other)
+        build_side = "binding" if build <= probe else "outer"
+        return JoinEstimate(clause=clause_index, conjunct=conjunct_index,
+                            side=v_side, build_rows=build, probe_rows=probe,
+                            build_side=build_side)
+
+    def _schedule(self, clauses: list[PlanNode],
+                  estimates: tuple[JoinEstimate, ...],
+                  conjuncts: list[PlanNode]) -> tuple[int, ...]:
+        """Execution order of the clauses: join clauses float to the
+        earliest dependency-respecting slot, smallest build side first;
+        all other clauses keep their relative syntactic order."""
+        join_by_clause = {estimate.clause: estimate for estimate in estimates}
+        names_of: list[set[str]] = []
+        for clause in clauses:
+            names = {clause.p("var")}
+            if clause.kind == "for" and clause.p("posvar"):
+                names.add(clause.p("posvar"))
+            names_of.append(names)
+
+        total = len(clauses)
+        deps: list[set[int]] = []
+        for index, clause in enumerate(clauses):
+            estimate = join_by_clause.get(index)
+            if estimate is None:
+                # non-join clauses never move
+                deps.append(set(range(index)))
+                continue
+            needed = frozenset().union(
+                *(self.free(child) for child in clause.children))
+            needed |= self.free(conjuncts[estimate.conjunct])
+            deps.append({earlier for earlier in range(index)
+                         if needed & names_of[earlier]})
+
+        scheduled: list[int] = []
+        done: set[int] = set()
+        while len(scheduled) < total:
+            ready = [index for index in range(total)
+                     if index not in done and deps[index] <= done]
+            join_ready = [index for index in ready if index in join_by_clause]
+            if join_ready:
+                pick = min(join_ready,
+                           key=lambda index:
+                           (join_by_clause[index].build_rows, index))
+            else:
+                pick = min(index for index in ready)
+            scheduled.append(pick)
+            done.add(pick)
+        return tuple(scheduled)
 
 
 # --------------------------------------------------------------------------- #
@@ -512,6 +797,9 @@ def _child_requirements(node: PlanNode, req: frozenset[str],
                 out.append((clause.children[0], NO_POS))
             else:
                 out.append((clause.children[0], FULL_COLUMNS))
+            # pushed-down predicates are per-item EBV verdicts
+            for predicate in clause.children[1:]:
+                out.append((predicate, NO_POS))
         index = nclauses
         if has_where:
             out.append((children[index], NO_POS))

@@ -131,6 +131,9 @@ class DocumentContainer:
         self._attrs_by_owner: dict[int, list[int]] = {}
         # lazily built element-name index (nametest pushdown candidate lists)
         self._name_index: dict[int, list[int]] | None = None
+        # per-tag element counts, maintained eagerly while shredding — the
+        # statistics the cost-based optimizer derives cardinalities from
+        self._tag_counts: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # construction (used by the shredder and by node constructors)
@@ -147,6 +150,8 @@ class DocumentContainer:
         self.value.append(value)
         self.frag.append(frag if frag is not None else pre)
         self._name_index = None
+        if kind == NodeKind.ELEMENT and name_id >= 0:
+            self._tag_counts[name_id] = self._tag_counts.get(name_id, 0) + 1
         return pre
 
     def set_size(self, pre: int, size: int) -> None:
@@ -261,6 +266,26 @@ class DocumentContainer:
         if name_id is None:
             return []
         return self.name_index().get(name_id, [])
+
+    # ------------------------------------------------------------------ #
+    # statistics (cardinality estimation)
+    # ------------------------------------------------------------------ #
+    def tag_counts(self) -> dict[str, int]:
+        """Element counts per local tag name, collected at shred time."""
+        return {self.names.local(name_id): count
+                for name_id, count in self._tag_counts.items()}
+
+    def tag_count(self, local: str) -> int:
+        """Number of elements with the given local name (0 when unknown)."""
+        name_id = self.names.lookup(local)
+        if name_id is None:
+            return 0
+        return self._tag_counts.get(name_id, 0)
+
+    @property
+    def element_count(self) -> int:
+        """Total number of element nodes in this container."""
+        return sum(self._tag_counts.values())
 
     # ------------------------------------------------------------------ #
     # relational views
@@ -384,7 +409,26 @@ class DocumentStore:
         columns = [
             Column("doc", names),
             Column("nodes", [container.node_count for container in containers]),
+            Column("elements", [container.element_count
+                                for container in containers]),
             Column("height", [max(container.level) + 1 if container.level else 0
                               for container in containers]),
         ]
         return Table(columns)
+
+    def tag_statistics_table(self) -> Table:
+        """Per-tag element counts across loaded documents (``doc|tag|count``)."""
+        docs: list[str] = []
+        tags: list[str] = []
+        counts: list[int] = []
+        for name, container in self._documents.items():
+            for tag, count in sorted(container.tag_counts().items()):
+                docs.append(name)
+                tags.append(tag)
+                counts.append(count)
+        return Table([Column("doc", docs), Column("tag", tags),
+                      Column("count", counts)])
+
+    def containers(self) -> list[DocumentContainer]:
+        """All loaded (persistent) containers."""
+        return list(self._documents.values())

@@ -42,9 +42,11 @@ from ..errors import (XQueryRuntimeError, XQueryTypeError,
 from ..relational import explain
 from ..relational import operators as ops
 from ..relational.column import Column
+from ..relational.cardinality import StoreStatistics
 from ..relational.plan import PlanNode
 from ..relational.properties import TableProps
-from ..relational.rewrites import OptimizedModulePlan, optimize
+from ..relational.rewrites import (JoinEstimate, OptimizedModulePlan,
+                                   flatten_conjuncts, optimize)
 from ..relational.sorting import sort
 from ..relational.table import Table
 from ..staircase.axes import NodeTest
@@ -82,7 +84,9 @@ class LoopLiftingCompiler:
     # ------------------------------------------------------------------ #
     def run(self, module: ast.Module, context_item: Any | None = None) -> list[Any]:
         """Plan, optimize and evaluate a parsed module."""
-        optimized = optimize(plan_module(module), self.options)
+        statistics = StoreStatistics.from_store(self.engine.store)
+        optimized = optimize(plan_module(module), self.options,
+                             statistics=statistics)
         return self.run_optimized(optimized, context_item=context_item)
 
     def run_optimized(self, optimized: OptimizedModulePlan,
@@ -344,36 +348,67 @@ class LoopLiftingCompiler:
 
         conjuncts: list[PlanNode] = []
         if where is not None:
-            conjuncts = list(where.children) if where.kind == "and" else [where]
-        join = node.p("join") if self.options.join_recognition else None
+            conjuncts = flatten_conjuncts(where)
+
+        join_by_clause: dict[int, tuple[int, int, int]] = {}
+        estimate_by_clause: dict[int, JoinEstimate] = {}
+        if self.options.join_recognition and node.p("join") is not None:
+            triples = node.p("joins") or (node.p("join"),)
+            join_by_clause = {triple[0]: tuple(triple) for triple in triples}
+            if self._plan is not None:
+                for estimate in self._plan.join_estimates.get(node.id, ()):
+                    estimate_by_clause[estimate.clause] = estimate
+
+        # the cost-based execution order of the clauses (join clauses float
+        # smallest-build-first); the tuple order is restored afterwards
+        schedule = tuple(range(nclauses))
+        if join_by_clause and self.options.cost_based_joins:
+            annotated = node.p("clause_order")
+            if annotated is not None \
+                    and sorted(annotated) == list(range(nclauses)):
+                schedule = tuple(annotated)
+        reordered = schedule != tuple(range(nclauses))
 
         current_loop = loop
         current_env = dict(env)
         tuple_map = None                    # outer -> inner, composed
-        consumed_join = False
+        consumed_conjuncts: set[int] = set()
+        # per current iteration: which item ordinal each clause contributed
+        # (only tracked when the syntactic tuple order must be restored)
+        clause_keys: dict[int, dict[int, int]] | None = \
+            {iteration: {} for iteration in loop.col("iter")} \
+            if reordered else None
 
-        for index, clause in enumerate(clauses):
+        for index in schedule:
+            clause = clauses[index]
             if clause.kind == "let":
                 current_env[clause.p("var")] = self.compile(
                     clause.children[0], current_loop, current_env)
                 continue
 
-            if join is not None and join[0] == index and not consumed_join:
-                join_plan = self._execute_join(clause, conjuncts[join[1]],
-                                               join[2], current_loop,
-                                               current_env)
+            triple = join_by_clause.get(index)
+            if triple is not None:
+                join_plan = self._execute_join(
+                    clause, conjuncts[triple[1]], triple[2], current_loop,
+                    current_env, estimate=estimate_by_clause.get(index))
                 if join_plan is not None:
-                    scope_map, inner_loop, bindings = join_plan
+                    scope_map, inner_loop, bindings, ranks = join_plan
                     current_env = lift_environment(current_env, scope_map)
                     current_env.update(bindings)
                     tuple_map = self._compose_maps(tuple_map, scope_map)
+                    if clause_keys is not None:
+                        clause_keys = self._advance_clause_keys(
+                            clause_keys, index, scope_map, ranks)
                     current_loop = inner_loop
-                    del conjuncts[join[1]]
-                    consumed_join = True
+                    consumed_conjuncts.add(triple[1])
                     continue
 
             sequence = self.compile(clause.children[0], current_loop,
                                     current_env)
+            if len(clause.children) > 1:
+                sequence = self._filter_binding(
+                    sequence, clause.p("var"), clause.children[1:],
+                    current_env)
             scope_map, inner_loop, variable, positions = for_binding(
                 sequence, use_properties=self.options.order_optimization)
             current_env = lift_environment(current_env, scope_map)
@@ -381,12 +416,23 @@ class LoopLiftingCompiler:
             if clause.p("posvar"):
                 current_env[clause.p("posvar")] = positions
             tuple_map = self._compose_maps(tuple_map, scope_map)
+            if clause_keys is not None:
+                clause_keys = self._advance_clause_keys(
+                    clause_keys, index, scope_map,
+                    list(positions.col("item")))
             current_loop = inner_loop
 
-        if conjuncts:
+        if reordered and tuple_map is not None:
+            current_loop, current_env, tuple_map = self._restore_clause_order(
+                loop, current_loop, current_env, tuple_map, clause_keys,
+                nclauses)
+
+        remaining = [conjunct for index, conjunct in enumerate(conjuncts)
+                     if index not in consumed_conjuncts]
+        if remaining:
             verdict = {iteration: True
                        for iteration in current_loop.col("iter")}
-            for conjunct in conjuncts:
+            for conjunct in remaining:
                 partial = self._ebv_by_iteration(conjunct, current_loop,
                                                  current_env)
                 for iteration in verdict:
@@ -413,6 +459,110 @@ class LoopLiftingCompiler:
         return back_map(tuple_map, body, order_keys=order_keys,
                         use_properties=self.options.order_optimization,
                         need_pos=self._needs_pos(node) or norder > 0)
+
+    def _advance_clause_keys(self, clause_keys: dict[int, dict[int, int]],
+                             clause_index: int, scope_map,
+                             ordinals: list[int]) -> dict[int, dict[int, int]]:
+        """Re-key the tuple-order bookkeeping through one scope map, adding
+        the item ordinal this clause contributed per new inner iteration."""
+        advanced: dict[int, dict[int, int]] = {}
+        for outer, inner, ordinal in zip(scope_map.col("outer"),
+                                         scope_map.col("inner"), ordinals):
+            entry = dict(clause_keys.get(outer, {}))
+            entry[clause_index] = ordinal
+            advanced[inner] = entry
+        return advanced
+
+    def _restore_clause_order(self, outer_loop, current_loop, env: dict,
+                              tuple_map, clause_keys: dict[int, dict[int, int]],
+                              nclauses: int):
+        """Relabel the inner loop so iteration ids follow the *syntactic*
+        clause nesting again after a cost-ordered clause schedule.
+
+        The desired tuple order is (enclosing iteration, item ordinal of
+        clause 0, ordinal of clause 1, ...); the loop, every environment
+        table and the composed scope map are renumbered accordingly.
+        """
+        origin = dict(zip(tuple_map.col("inner"), tuple_map.col("outer")))
+        outer_rank = {iteration: rank for rank, iteration
+                      in enumerate(outer_loop.col("iter"))}
+
+        def sort_key(iteration: int):
+            entry = clause_keys.get(iteration, {})
+            return (outer_rank.get(origin.get(iteration), 0),
+                    *(entry.get(index, 0) for index in range(nclauses)))
+
+        old_iters = list(current_loop.col("iter"))
+        ordered = sorted(old_iters, key=sort_key)
+        if ordered == old_iters:
+            return current_loop, env, tuple_map
+        mapping = {old: new for new, old in enumerate(ordered, start=1)}
+        explain.record("join", "join.order-restore", len(old_iters),
+                       len(old_iters))
+
+        new_loop = make_loop(list(range(1, len(ordered) + 1)))
+        new_env = {name: self._relabel_sequence(table, mapping)
+                   for name, table in env.items()}
+        pairs = sorted((outer, mapping[inner]) for outer, inner
+                       in zip(tuple_map.col("outer"), tuple_map.col("inner"))
+                       if inner in mapping)
+        new_map = Table([
+            Column("outer", [pair[0] for pair in pairs]),
+            Column("inner", [pair[1] for pair in pairs], infer=True),
+        ], props=TableProps(order=("outer", "inner")))
+        return new_loop, new_env, new_map
+
+    def _relabel_sequence(self, table, mapping: dict[int, int]):
+        """Apply an iteration renumbering to an ``iter|pos|item`` table."""
+        rows = [(mapping[iteration], position, item)
+                for iteration, position, item
+                in zip(table.col("iter"), table.col("pos"), table.col("item"))
+                if iteration in mapping]
+        rows.sort(key=lambda row: (row[0], row[1]))
+        return Table([
+            Column("iter", [row[0] for row in rows]),
+            Column("pos", [row[1] for row in rows]),
+            Column("item", [row[2] for row in rows]),
+        ], props=TableProps(order=("iter", "pos")))
+
+    def _filter_binding(self, sequence, var: str, predicates, env: dict):
+        """Apply pushed-down plan-level predicates to a for-clause binding
+        sequence: per-item EBV of the moved ``where`` conjuncts, with the
+        clause variable bound to the candidate item."""
+        if sequence.row_count == 0 or not predicates:
+            return sequence
+        scope_map, sub_loop, variable, positions = for_binding(
+            sequence, use_properties=self.options.order_optimization)
+        sub_env = lift_environment(env, scope_map)
+        sub_env[var] = variable
+        active_loop, active_env = sub_loop, sub_env
+        survivors = set(sub_loop.col("iter"))
+        for predicate in predicates:
+            if not survivors:
+                break
+            grouped = items_by_iteration(
+                self.compile(predicate, active_loop, active_env))
+            survivors = {iteration for iteration in survivors
+                         if effective_boolean_value(
+                             grouped.get(iteration, []))}
+            if len(survivors) < active_loop.row_count:
+                # later predicates only run over the still-live items
+                kept = sorted(survivors)
+                active_loop = make_loop(kept)
+                active_env = {name: restrict_sequence(table, kept)
+                              for name, table in active_env.items()}
+        rows = [(outer, position, item)
+                for outer, inner, position, item
+                in zip(scope_map.col("outer"), scope_map.col("inner"),
+                       positions.col("item"), variable.col("item"))
+                if inner in survivors]
+        explain.record("predicate", "predicate.pushdown",
+                       sequence.row_count, len(rows), detail=f"${var}")
+        return Table([
+            Column("iter", [row[0] for row in rows]),
+            Column("pos", [row[1] for row in rows]),
+            Column("item", [row[2] for row in rows]),
+        ], props=TableProps(order=("iter", "pos")))
 
     def _compose_maps(self, outer_map, inner_map):
         """Compose two scope maps: (outer->mid) ∘ (mid->inner) = outer->inner."""
@@ -459,8 +609,16 @@ class LoopLiftingCompiler:
         ], props=TableProps(order=("iter",)))
 
     # -- join execution (Section 4.1 indep / Section 4.2) ---------------------- #
+    def _empty_join_result(self, clause: PlanNode):
+        """The (scope map, loop, bindings, ranks) of a join with no pairs."""
+        empty_map = Table.from_dict({"outer": [], "inner": []},
+                                    order=("outer", "inner"))
+        return (empty_map, make_loop([]),
+                {clause.p("var"): empty_sequence()}, [])
+
     def _execute_join(self, clause: PlanNode, conjunct: PlanNode, v_side: int,
-                      current_loop, env: dict):
+                      current_loop, env: dict,
+                      estimate: JoinEstimate | None = None):
         """Evaluate an optimizer-annotated ``for $v ... where lhs ⊖ rhs``
         clause as a value join.
 
@@ -468,8 +626,15 @@ class LoopLiftingCompiler:
         statically by the rewrite; what remains dynamic is the context
         document check — independence only holds when every iteration sees
         the same context root.  Returns ``None`` to fall back to the lifted
-        nested-loop evaluation.
+        nested-loop evaluation.  Pushed-down plan-level predicates filter
+        the binding sequence before the join; a cost-model ``estimate``
+        decides which input becomes the theta-join build side.
         """
+        if current_loop.row_count == 0:
+            # no enclosing iterations: the join yields no pairs, and the
+            # (possibly context-dependent) binding sequence must not run —
+            # the lifted environment carries no context rows to run it with
+            return self._empty_join_result(clause)
         constant_context = None
         if "." in env:
             roots = {(id(item.container), item.container.root_pre(item.pre))
@@ -489,20 +654,21 @@ class LoopLiftingCompiler:
         if v_side == 0:
             op = flip_comparison(op)
 
-        # 1. evaluate the loop-invariant binding sequence once
+        # 1. evaluate the loop-invariant binding sequence once (pushed-down
+        #    predicates shrink it before the join sees it)
         base_loop = unit_loop()
         base_env: dict[str, Any] = {}
         if constant_context is not None:
             base_env["."] = lift_constant(base_loop, constant_context)
         sequence = self.compile(clause.children[0], base_loop, base_env)
+        if len(clause.children) > 1:
+            sequence = self._filter_binding(sequence, clause.p("var"),
+                                            clause.children[1:], base_env)
         items = sequence_items(sequence, 1)
         if not items:
             # no binding items: the FLWOR contributes nothing for any outer
             # iteration — an empty scope map expresses exactly that
-            empty_map = Table.from_dict({"outer": [], "inner": []},
-                                        order=("outer", "inner"))
-            bindings = {clause.p("var"): empty_sequence()}
-            return empty_map, make_loop([]), bindings
+            return self._empty_join_result(clause)
 
         # 2. the side of the comparison that depends on $v, per binding item
         item_loop = make_loop(list(range(1, len(items) + 1)))
@@ -524,9 +690,20 @@ class LoopLiftingCompiler:
                       for iteration, item in zip(other_table.col("iter"),
                                                  other_table.col("item"))]
 
-        # 4. existential theta-join: distinct (outer iteration, item index)
+        # 4. existential theta-join: distinct (outer iteration, item index);
+        #    the cost model's estimate picks the build side of the join —
+        #    the right input of the theta-join is what the hash/index build
+        #    consumes, so the smaller side is swapped there
         strategy = "auto" if self.options.existential_aggregates else "dedup"
-        pairs = existential_join(other_rows, v_rows, op, strategy=strategy)
+        swap_build = (estimate is not None and estimate.build_side == "outer"
+                      and self.options.cost_based_joins)
+        if swap_build:
+            swapped = existential_join(v_rows, other_rows,
+                                       flip_comparison(op), strategy=strategy)
+            pairs = [(outer, index) for index, outer in swapped]
+        else:
+            pairs = existential_join(other_rows, v_rows, op,
+                                     strategy=strategy)
 
         # 5. build the scope map / inner loop / $v binding for the survivors
         pairs.sort()
@@ -543,7 +720,8 @@ class LoopLiftingCompiler:
             Column.constant("pos", 1, len(pairs)),
             Column("item", bound_items),
         ], props=TableProps(order=("iter", "pos")))}
-        return scope_map, inner_loop, bindings
+        ranks = [pair[1] for pair in pairs]
+        return scope_map, inner_loop, bindings, ranks
 
     # -- quantified expressions ------------------------------------------------ #
     def _exec_quantified(self, node: PlanNode, loop, env):

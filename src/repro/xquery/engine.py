@@ -22,6 +22,7 @@ from typing import Any
 
 from ..errors import DocumentError
 from ..relational import explain
+from ..relational.cardinality import StoreStatistics
 from ..relational.rewrites import OptimizedModulePlan, optimize
 from ..staircase.iterative import StaircaseStats
 from ..xml.document import DocumentContainer, DocumentStore, NodeRef
@@ -63,6 +64,15 @@ class EngineOptions:
     #: logical-plan rewrite: execute hash-consed common subplans once per
     #: (loop, environment) and reuse the materialised result
     subplan_sharing: bool = True
+    #: logical-plan rewrite: move where-conjuncts that mention only one for
+    #: variable into that clause as plan-level predicates (joins see
+    #: pre-filtered inputs)
+    predicate_pushdown: bool = True
+    #: cost-based join planning: recognise *all* value-join candidates of a
+    #: FLWOR (not just the first syntactic match), size both join inputs
+    #: from document statistics, pick build sides and order join clauses
+    #: smallest-build-first
+    cost_based_joins: bool = True
 
     def replace(self, **changes: Any) -> "EngineOptions":
         return replace(self, **changes)
@@ -227,7 +237,8 @@ class MonetXQuery:
         self.plan_cache_stats.misses += 1
         explain.record("plan", "plan.cache.miss", 0, 0, detail="prepare")
         module = parser.parse(query)
-        optimized = optimize(plan_module(module), active)
+        optimized = optimize(plan_module(module), active,
+                             statistics=StoreStatistics.from_store(self.store))
         prepared = PreparedQuery(text=query, plan=optimized,
                                  options=active, engine=self)
         if self.plan_cache_size > 0:

@@ -15,6 +15,15 @@ implements the two relational strategies of Figure 8:
 * ``strategy="auto"`` picks the aggregate plan whenever the comparison
   allows it.
 
+**Typing.**  General comparisons promote *per pair*, as the XQuery rules for
+untyped atomics demand: a pair with at least one numeric operand compares
+numerically (the untyped side is cast; an uncastable value makes the pair
+false), while a pair of two non-numeric values compares as strings.  The
+relational plans realise this by partitioning each input into a numeric and
+a string domain and joining the (at most three) cross-domain combinations
+that the pair rules allow — so ``("a", 1) = "a"`` is true through the
+string-domain join while ``("a", 1) = 1`` is true through the numeric one.
+
 :func:`existential_compare` applies the same machinery to the *intra-loop*
 case (both operand sequences keyed by the same ``iter``), producing the
 boolean result per iteration.
@@ -47,10 +56,60 @@ def flip_comparison(op: str) -> str:
     return _FLIPPED[op]
 
 
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _partition_rows(rows: list[tuple[int, Any]]
+                    ) -> tuple[list[tuple[int, Any]], list[tuple[int, Any]],
+                               list[tuple[int, Any]]]:
+    """Split ``(group, value)`` rows into the typed domains of a comparison.
+
+    Returns ``(numeric, strings, castable)``: genuinely numeric rows, the
+    string representations of the non-numeric rows, and the numeric casts of
+    those non-numeric rows that *can* be cast (they participate in numeric
+    pairs against a genuinely numeric other side).
+    """
+    numeric: list[tuple[int, Any]] = []
+    strings: list[tuple[int, Any]] = []
+    castable: list[tuple[int, Any]] = []
+    for group, value in rows:
+        if _is_numeric(value):
+            numeric.append((group, value))
+        else:
+            strings.append((group, str(value)))
+            number = to_number(value)
+            if number is not None:
+                castable.append((group, number))
+    return numeric, strings, castable
+
+
+def _domain_products(left_rows: list[tuple[int, Any]],
+                     right_rows: list[tuple[int, Any]]
+                     ) -> list[tuple[list[tuple[int, Any]],
+                                     list[tuple[int, Any]]]]:
+    """The per-pair typing rules as (left, right) input combinations.
+
+    A pair compares numerically when at least one side is genuinely numeric
+    (the other side cast), and as strings when neither is.  That yields at
+    most three joins: numeric×(numeric∪cast), cast×numeric, string×string.
+    """
+    left_num, left_str, left_cast = _partition_rows(left_rows)
+    right_num, right_str, right_cast = _partition_rows(right_rows)
+    products = []
+    if left_num and (right_num or right_cast):
+        products.append((left_num, right_num + right_cast))
+    if left_cast and right_num:
+        products.append((left_cast, right_num))
+    if left_str and right_str:
+        products.append((left_str, right_str))
+    return products
+
+
 def _value_table(rows: list[tuple[int, Any]], group_name: str) -> Table:
     table = Table([
         Column(group_name, [row[0] for row in rows]),
-        Column("value", [atomize(row[1]) for row in rows]),
+        Column("value", [row[1] for row in rows]),
     ], props=TableProps(order=(group_name,)))
     return table
 
@@ -61,59 +120,72 @@ def existential_join(left: list[tuple[int, Any]], right: list[tuple[int, Any]],
     """Distinct ``(left_group, right_group)`` pairs satisfying the comparison.
 
     ``left`` and ``right`` are lists of ``(group, value)`` pairs (values are
-    atomized items).  ``numeric=True`` forces numeric promotion of both
-    sides; ``None`` promotes automatically when any value is numeric.
+    atomized items).  Pairs are typed individually: a pair with a numeric
+    operand compares numerically (uncastable partners drop out), two
+    non-numeric operands compare as strings.  ``numeric=True`` forces the
+    legacy all-numeric promotion of both sides.
+
+    ``strategy="aggregate"`` is only defined for the order comparisons
+    (Figure 8b needs min/max aggregates); requesting it for ``eq``/``ne``
+    raises :class:`ValueError` — use ``"auto"`` to pick it opportunistically.
     """
-    if not left or not right:
-        return []
     if strategy not in ("auto", "dedup", "aggregate"):
         raise ValueError(f"unknown strategy {strategy!r}")
+    if strategy == "aggregate" and op not in _MIN_MAX_PLAN:
+        raise ValueError(
+            f"strategy 'aggregate' is undefined for the {op!r} comparison "
+            "(Figure 8b applies to order comparisons only); "
+            "use strategy 'auto' or 'dedup'")
+    if not left or not right:
+        return []
 
     left_rows = [(group, atomize(value)) for group, value in left]
     right_rows = [(group, atomize(value)) for group, value in right]
 
-    if numeric is None:
-        numeric = any(isinstance(value, (int, float)) and not isinstance(value, bool)
-                      for _, value in left_rows + right_rows)
     if numeric:
         left_rows = [(group, to_number(value)) for group, value in left_rows]
         right_rows = [(group, to_number(value)) for group, value in right_rows]
         left_rows = [(group, value) for group, value in left_rows if value is not None]
         right_rows = [(group, value) for group, value in right_rows if value is not None]
+        products = [(left_rows, right_rows)] if left_rows and right_rows else []
     else:
-        left_rows = [(group, str(value)) for group, value in left_rows]
-        right_rows = [(group, str(value)) for group, value in right_rows]
+        products = _domain_products(left_rows, right_rows)
 
     chosen = strategy
     if chosen == "auto":
         chosen = "aggregate" if op in _MIN_MAX_PLAN else "dedup"
-    if chosen == "aggregate" and op not in _MIN_MAX_PLAN:
-        chosen = "dedup"
 
+    pairs: set[tuple[int, int]] = set()
+    for left_part, right_part in products:
+        pairs.update(_join_one_domain(left_part, right_part, op, chosen))
+    result = sorted(pairs)
+    explain.record("existential", f"existential.{chosen}",
+                   len(left_rows) + len(right_rows), len(result), detail=op)
+    return result
+
+
+def _join_one_domain(left_rows: list[tuple[int, Any]],
+                     right_rows: list[tuple[int, Any]],
+                     op: str, chosen: str) -> list[tuple[int, int]]:
+    """One typed-domain join (all values homogeneous and comparable)."""
     left_table = _value_table(left_rows, "iter1")
     right_table = _value_table(right_rows, "iter2")
 
     if chosen == "aggregate":
         left_kind, right_kind = _MIN_MAX_PLAN[op]
         left_table = ops.aggregate(left_table, "iter1",
-                                   [("value", left_kind, "value")])
+                                   [("value", left_kind + "-value", "value")])
         right_table = ops.aggregate(right_table, "iter2",
-                                    [("value", right_kind, "value")])
+                                    [("value", right_kind + "-value", "value")])
         right_table = ops.project(right_table, {"iter2": "iter2", "value2": "value"})
         joined = ops.theta_join(left_table, right_table, "value", "value2", op)
-        pairs = sorted(zip(joined.col("iter1"), joined.col("iter2")))
-        explain.record("existential", "existential.aggregate",
-                       len(left_rows) + len(right_rows), len(pairs), detail=op)
-        return pairs
+        return list(zip(joined.col("iter1"), joined.col("iter2")))
 
     right_table = ops.project(right_table, {"iter2": "iter2", "value2": "value"})
     joined = ops.theta_join(left_table, right_table, "value", "value2", op)
     projected = ops.project(joined, ("iter1", "iter2"))
     projected = ops.distinct(projected, ("iter1", "iter2"))
-    pairs = sorted(zip(projected.col("iter1"), projected.col("iter2")))
-    explain.record("existential", "existential.dedup",
-                   len(left_rows) + len(right_rows), len(pairs), detail=op)
-    return pairs
+    return list(zip(projected.col("iter1"), projected.col("iter2")))
 
 
 def existential_compare(left: dict[int, list[Any]], right: dict[int, list[Any]],
@@ -125,33 +197,32 @@ def existential_compare(left: dict[int, list[Any]], right: dict[int, list[Any]],
     behind this is an equi-join on ``iter`` followed by the value comparison;
     because both inputs arrive ordered on ``iter``, the join degenerates to a
     per-iteration merge.  An empty operand sequence makes the comparison
-    false for that iteration.  With ``strategy`` "aggregate"/"auto" the order
-    comparisons only inspect the min/max of each side (Figure 8b applied per
-    iteration).
+    false for that iteration.  Pairs are typed individually, exactly as in
+    :func:`existential_join`.  With ``strategy`` "aggregate"/"auto" the order
+    comparisons only inspect the min/max of each typed domain (Figure 8b
+    applied per iteration).
     """
+    if strategy not in ("auto", "dedup", "aggregate"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if strategy == "aggregate" and op not in _MIN_MAX_PLAN:
+        raise ValueError(
+            f"strategy 'aggregate' is undefined for the {op!r} comparison; "
+            "use strategy 'auto' or 'dedup'")
     true_iterations: set[int] = set()
     use_aggregate = strategy in ("auto", "aggregate") and op in _MIN_MAX_PLAN
     for iteration, left_values in left.items():
         right_values = right.get(iteration)
         if not right_values or not left_values:
             continue
-        left_atoms = [atomize(value) for value in left_values]
-        right_atoms = [atomize(value) for value in right_values]
-        numeric = any(isinstance(value, (int, float)) and not isinstance(value, bool)
-                      for value in left_atoms + right_atoms)
-        if numeric:
-            left_atoms = [to_number(value) for value in left_atoms]
-            right_atoms = [to_number(value) for value in right_atoms]
-            left_atoms = [value for value in left_atoms if value is not None]
-            right_atoms = [value for value in right_atoms if value is not None]
-            if not left_atoms or not right_atoms:
-                continue
-        else:
-            left_atoms = [str(value) for value in left_atoms]
-            right_atoms = [str(value) for value in right_atoms]
-        if _any_pair_matches(left_atoms, right_atoms, op,
-                             use_aggregate=use_aggregate):
-            true_iterations.add(iteration)
+        left_rows = [(iteration, atomize(value)) for value in left_values]
+        right_rows = [(iteration, atomize(value)) for value in right_values]
+        for left_part, right_part in _domain_products(left_rows, right_rows):
+            left_atoms = [value for _, value in left_part]
+            right_atoms = [value for _, value in right_part]
+            if _any_pair_matches(left_atoms, right_atoms, op,
+                                 use_aggregate=use_aggregate):
+                true_iterations.add(iteration)
+                break
     return true_iterations
 
 
@@ -160,9 +231,8 @@ def _any_pair_matches(left_atoms: list[Any], right_atoms: list[Any], op: str, *,
     if op == "eq":
         return not set(left_atoms).isdisjoint(right_atoms)
     if op == "ne":
-        if len(set(left_atoms)) > 1 or len(set(right_atoms)) > 1:
-            return True
-        return left_atoms[0] != right_atoms[0]
+        # some pair differs iff the union holds more than one distinct value
+        return len(set(left_atoms) | set(right_atoms)) > 1
     if use_aggregate:
         left_kind, right_kind = _MIN_MAX_PLAN[op]
         left_value = min(left_atoms) if left_kind == "min" else max(left_atoms)

@@ -91,4 +91,6 @@ def all_options_off() -> EngineOptions:
         existential_aggregates=False,
         projection_pushdown=False,
         subplan_sharing=False,
+        predicate_pushdown=False,
+        cost_based_joins=False,
     )

@@ -1,0 +1,126 @@
+"""Document statistics and the plan-level cardinality estimator."""
+
+import pytest
+
+from repro import EngineOptions, MonetXQuery
+from repro.relational.cardinality import (CardinalityEstimator,
+                                          StoreStatistics)
+from repro.relational.plan import PlanBuilder
+from repro.xml import DocumentStore, shred_document
+from repro.xquery import parse, plan_module
+from repro.xquery.planner import plan_expression
+
+
+DOC = ("<site>"
+       "<people>" + "".join(f'<person id="p{i}"><name>n{i}</name></person>'
+                            for i in range(5)) + "</people>"
+       "<items>" + "".join(f'<item id="i{i}"/>' for i in range(2)) + "</items>"
+       "</site>")
+
+
+@pytest.fixture
+def stats(store) -> StoreStatistics:
+    shred_document(DOC, "doc.xml", store)
+    return StoreStatistics.from_store(store)
+
+
+class TestTagStatistics:
+    def test_tag_counts_collected_at_shred_time(self, store):
+        container = shred_document(DOC, "doc.xml", store)
+        counts = container.tag_counts()
+        assert counts["person"] == 5
+        assert counts["item"] == 2
+        assert counts["site"] == 1
+        assert container.tag_count("person") == 5
+        assert container.tag_count("nosuchtag") == 0
+        assert container.element_count == sum(counts.values())
+
+    def test_constructed_elements_update_counts(self, store):
+        container = store.new_container("(t)", transient=True)
+        from repro.xml.document import NodeKind
+        name_id = container.names.intern("x")
+        container.add_node(NodeKind.ELEMENT, 0, name_id=name_id)
+        container.add_node(NodeKind.ELEMENT, 1, name_id=name_id)
+        assert container.tag_count("x") == 2
+
+    def test_loaded_documents_table_has_element_counts(self, store):
+        shred_document(DOC, "doc.xml", store)
+        table = store.loaded_documents_table()
+        assert "elements" in table.column_names
+        [elements] = table.col("elements")
+        # site + people + 5 person + 5 name + items + 2 item
+        assert elements == 15
+
+    def test_tag_statistics_table(self, store):
+        shred_document(DOC, "doc.xml", store)
+        table = store.tag_statistics_table()
+        rows = dict(zip(table.col("tag"), table.col("count")))
+        assert rows["person"] == 5
+        assert rows["item"] == 2
+
+    def test_store_snapshot_aggregates_documents(self, store):
+        shred_document(DOC, "a.xml", store)
+        shred_document("<site><person/></site>", "b.xml", store)
+        snapshot = StoreStatistics.from_store(store)
+        assert snapshot.document_count == 2
+        assert snapshot.tag_count("person") == 6
+        assert snapshot.available
+
+
+class TestEstimator:
+    def test_absolute_path_estimated_from_tag_counts(self, stats):
+        plan = plan_expression(parse("/site/people/person").body)
+        estimator = CardinalityEstimator(stats)
+        assert estimator.estimate(plan) == 5.0
+
+    def test_relative_path_bounded_by_context(self, stats):
+        builder = PlanBuilder()
+        plan = plan_expression(parse("$p/name").body, builder)
+        estimator = CardinalityEstimator(stats)
+        # one context node, one expected match
+        assert estimator.estimate(plan) <= 5.0
+
+    def test_predicates_reduce_estimates(self, stats):
+        estimator = CardinalityEstimator(stats)
+        bare = plan_expression(parse("/site/people/person").body)
+        filtered = plan_expression(parse('/site/people/person[@id = "p0"]').body)
+        assert estimator.estimate(filtered) < estimator.estimate(bare)
+
+    def test_sequences_add_up(self, stats):
+        estimator = CardinalityEstimator(stats)
+        plan = plan_expression(parse("(/site/people/person, /site/items/item)").body)
+        assert estimator.estimate(plan) == 7.0
+
+    def test_literal_range_is_exact(self, stats):
+        estimator = CardinalityEstimator(stats)
+        assert estimator.estimate(plan_expression(parse("1 to 10").body)) == 10.0
+
+    def test_without_statistics_estimator_is_unavailable(self):
+        estimator = CardinalityEstimator(None)
+        assert not estimator.available
+        # estimates still return defensible defaults instead of failing
+        assert estimator.estimate(plan_expression(parse("(1, 2)").body)) == 2.0
+
+
+class TestExplainSurfacesEstimates:
+    JOIN_QUERY = ("for $p in /site/people/person "
+                  "for $c in /site/closed_auctions/closed_auction "
+                  "where $c/buyer/@person = $p/@id "
+                  "return $p/name/text()")
+
+    def test_join_estimates_in_plan_dump(self, engine):
+        dump = engine.explain(self.JOIN_QUERY)
+        assert "join-recognized" in dump
+        assert "est[build~" in dump
+        assert "build-side=" in dump
+
+    def test_estimates_absent_without_cost_based_joins(self, engine):
+        options = engine.options.replace(cost_based_joins=False)
+        dump = engine.explain(self.JOIN_QUERY, options=options)
+        assert "join-recognized" in dump
+        assert "est[build~" not in dump
+
+    def test_estimates_absent_without_documents(self):
+        mxq = MonetXQuery()
+        dump = mxq.explain(self.JOIN_QUERY)
+        assert "est[build~" not in dump

@@ -98,6 +98,29 @@ class TestInvalidation:
         updater.commit()
         assert mxq.query(QUERY).strings() == ["Carol", "Bob"]
 
+    def test_update_commit_bumps_version_and_misses_the_cache(self, mxq):
+        # regression guard for the cross-query-caching direction: committing
+        # an update batch must bump the store's schema version so cached
+        # PreparedQuery plans (and any statistics baked into them) can never
+        # outlive the document state they were optimized against
+        prepared = mxq.prepare(QUERY)
+        assert mxq.plan_cache_stats.misses == 1
+        version_before = mxq.store.version
+
+        updater = XMLUpdater(mxq, "doc.xml")
+        [target] = updater.select(
+            '/site/people/person[@id = "p0"]/name/text()')
+        updater.replace_value(target, "Carol")
+        updater.commit()
+
+        assert mxq.store.version > version_before
+        mxq.plan_cache_stats.clear()
+        fresh = mxq.prepare(QUERY)
+        assert fresh is not prepared                 # a new plan was built
+        assert mxq.plan_cache_stats.misses == 1      # observed as a miss
+        assert mxq.plan_cache_stats.hits == 0
+        assert fresh.run().strings() == ["Carol", "Bob"]
+
     def test_options_are_part_of_the_key(self, mxq):
         mxq.query(QUERY)
         mxq.query(QUERY, options=mxq.options.replace(join_recognition=False))

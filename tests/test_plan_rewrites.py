@@ -227,6 +227,179 @@ class TestJoinRecognitionRule:
                 join_recognition=False)).items
 
 
+class TestPredicatePushdown:
+    QUERY = ("for $c in /site/closed_auctions/closed_auction "
+             "where $c/price >= 40 "
+             "return $c/price/text()")
+
+    def test_single_variable_conjunct_moves_into_the_clause(self, engine):
+        prepared = engine.prepare(self.QUERY)
+        assert prepared.plan.report.fired("predicate-pushdown")
+        flwors = [node for node in prepared.plan.body.walk()
+                  if node.kind == "flwor"]
+        assert flwors and not flwors[0].p("has_where")
+        for_clause = flwors[0].children[0]
+        assert len(for_clause.children) == 2       # sequence + predicate
+        assert "pushed-predicates=1" in prepared.explain()
+
+    def test_pushdown_respects_the_option(self, engine):
+        options = engine.options.replace(predicate_pushdown=False)
+        prepared = engine.prepare(self.QUERY, options=options)
+        assert not prepared.plan.report.fired("predicate-pushdown")
+
+    def test_pushdown_preserves_results(self, engine):
+        fast = engine.query(self.QUERY).strings()
+        slow = engine.query(self.QUERY, options=engine.options.replace(
+            predicate_pushdown=False)).strings()
+        assert fast == slow == ["44", "99"]
+
+    def test_runtime_trace_records_the_filter(self, engine):
+        with capture() as trace:
+            engine.query(self.QUERY)
+        assert trace.count("predicate.pushdown") >= 1
+
+    def test_multi_variable_conjunct_stays_in_where(self, engine):
+        # $c/buyer/@person = $p/@id mentions two for variables: not pushable
+        prepared = engine.prepare(
+            "for $p in /site/people/person "
+            "for $c in /site/closed_auctions/closed_auction "
+            "where $c/buyer/@person = $p/@id "
+            "return $p/name/text()")
+        assert not prepared.plan.report.fired("predicate-pushdown")
+
+    def test_position_variable_blocks_pushdown(self, engine):
+        # filtering the binding would renumber the `at` positions
+        query = ("for $c at $i in /site/closed_auctions/closed_auction "
+                 "where $c/price >= 40 return $i")
+        prepared = engine.prepare(query)
+        assert not prepared.plan.report.fired("predicate-pushdown")
+        assert engine.query(query).items == [1, 3]
+
+    def test_let_variable_conjunct_is_not_pushed(self, engine):
+        # a where conjunct on a let variable compares the *whole* sequence;
+        # filtering its items would change the bound value
+        query = ("for $p in /site/people/person "
+                 "let $ids := $p/@id "
+                 "where $ids = \"person0\" "
+                 "return $p/name/text()")
+        prepared = engine.prepare(query)
+        assert not prepared.plan.report.fired("predicate-pushdown")
+        assert engine.query(query).strings() == ["Alice"]
+
+    def test_pushdown_shrinks_join_inputs(self, engine):
+        # the pushed conjunct must filter the binding before the join runs
+        query = ("for $p in /site/people/person "
+                 "for $c in /site/closed_auctions/closed_auction "
+                 "where $c/buyer/@person = $p/@id and $c/price >= 40 "
+                 "return $p/name/text()")
+        prepared = engine.prepare(query)
+        assert prepared.plan.report.fired("predicate-pushdown")
+        assert prepared.plan.report.fired("join-recognition")
+
+        def join_input_rows(options):
+            with capture() as trace:
+                result = engine.query(query, options=options)
+            rows = [entry.rows_in for entry in trace.entries
+                    if entry.algorithm.startswith("existential.")]
+            return result.strings(), rows
+
+        fast, pushed_rows = join_input_rows(engine.options)
+        slow, full_rows = join_input_rows(
+            engine.options.replace(predicate_pushdown=False))
+        assert fast == slow
+        assert sum(pushed_rows) < sum(full_rows)
+
+
+class TestCostBasedJoins:
+    TWO_JOIN_QUERY = (
+        "for $t in /site/closed_auctions/closed_auction "
+        "for $p in /site/people/person "
+        "for $i in /site/regions/europe/item "
+        "where $p/@id = $t/buyer/@person and $i/@id = $t/itemref/@item "
+        "return <r>{ $p/name/text() }{ $i/name/text() }</r>")
+
+    def test_all_join_candidates_are_recognized(self, engine):
+        prepared = engine.prepare(self.TWO_JOIN_QUERY)
+        flwors = [node for node in prepared.plan.body.walk()
+                  if node.kind == "flwor" and node.p("joins") is not None]
+        assert len(flwors) == 1
+        assert len(flwors[0].p("joins")) == 2
+        assert prepared.explain().count("join-recognized") == 2
+
+    def test_first_match_baseline_with_cost_disabled(self, engine):
+        options = engine.options.replace(cost_based_joins=False)
+        prepared = engine.prepare(self.TWO_JOIN_QUERY, options=options)
+        flwors = [node for node in prepared.plan.body.walk()
+                  if node.kind == "flwor" and node.p("join") is not None]
+        assert len(flwors) == 1
+        assert len(flwors[0].p("joins")) == 1
+
+    def test_estimates_and_build_sides_annotated(self, engine):
+        prepared = engine.prepare(self.TWO_JOIN_QUERY)
+        flwor = next(node for node in prepared.plan.body.walk()
+                     if node.kind == "flwor" and node.p("joins"))
+        estimates = prepared.plan.join_estimates.get(flwor.id)
+        assert estimates is not None and len(estimates) == 2
+        for estimate in estimates:
+            assert estimate.build_rows > 0
+            assert estimate.build_side in ("binding", "outer")
+
+    def test_smaller_build_side_ordered_first(self, xmark_engine):
+        prepared = xmark_engine.prepare(self.TWO_JOIN_QUERY)
+        flwor = next(node for node in prepared.plan.body.walk()
+                     if node.kind == "flwor" and node.p("joins"))
+        order = flwor.p("clause_order")
+        if order is not None:
+            estimates = {estimate.clause: estimate for estimate in
+                         prepared.plan.join_estimates[flwor.id]}
+            scheduled_joins = [index for index in order if index in estimates]
+            builds = [estimates[index].build_rows for index in scheduled_joins]
+            assert builds == sorted(builds)
+
+    def test_reordered_execution_preserves_tuple_order(self, engine,
+                                                       xmark_engine):
+        for target in (engine, xmark_engine):
+            fast = target.query(self.TWO_JOIN_QUERY).serialize()
+            slow = target.query(
+                self.TWO_JOIN_QUERY,
+                options=target.options.replace(cost_based_joins=False)
+            ).serialize()
+            naive = target.query(
+                self.TWO_JOIN_QUERY,
+                options=target.options.replace(join_recognition=False)
+            ).serialize()
+            assert fast == slow == naive
+
+    def test_one_to_many_joins_exercise_the_order_restore(self, engine):
+        # != joins match many rows per outer iteration, so the reordered
+        # schedule genuinely permutes the inner loop — the executor must
+        # renumber it back into syntactic (t, p, i) tuple order
+        query = ("for $t in /site/closed_auctions/closed_auction "
+                 "for $p in /site/people/person "
+                 "for $i in /site/regions/europe/item "
+                 "where $p/@id != $t/buyer/@person "
+                 "  and $i/@id != $t/itemref/@item "
+                 "return <r>{ $p/name/text() }{ $i/name/text() }</r>")
+        with capture() as trace:
+            fast = engine.query(query).serialize()
+        assert trace.count("join.order-restore") == 1
+        naive = engine.query(query, options=engine.options.replace(
+            join_recognition=False)).serialize()
+        assert fast == naive
+
+    def test_join_hoists_above_independent_driving_loop(self, engine):
+        # the join's conjunct references only constants: it may execute
+        # before the driving for clause, and the tuple order must survive
+        query = ("for $x in (1, 2) "
+                 "for $c in /site/closed_auctions/closed_auction "
+                 "where $c/buyer/@person = \"person0\" "
+                 "return <r x=\"{$x}\">{ $c/price/text() }</r>")
+        fast = engine.query(query).serialize()
+        slow = engine.query(query, options=engine.options.replace(
+            join_recognition=False, cost_based_joins=False)).serialize()
+        assert fast == slow
+
+
 class TestRewriteAblations:
     QUERIES = [
         "count(//person)",
@@ -239,7 +412,8 @@ class TestRewriteAblations:
         "return count($t)",
     ]
 
-    @pytest.mark.parametrize("flag", ["projection_pushdown", "subplan_sharing"])
+    @pytest.mark.parametrize("flag", ["projection_pushdown", "subplan_sharing",
+                                      "predicate_pushdown", "cost_based_joins"])
     @pytest.mark.parametrize("query", QUERIES)
     def test_new_flags_preserve_semantics(self, engine, flag, query):
         expected = engine.query(query).items

@@ -31,10 +31,20 @@ class TestExistentialJoin:
             aggregate = existential_join(left, right, op, strategy="aggregate")
             assert dedup == aggregate, op
 
-    def test_eq_falls_back_to_dedup_even_when_aggregate_requested(self):
+    def test_explicit_aggregate_strategy_rejects_eq_and_ne(self):
+        # Figure 8b's min/max plan is undefined for eq/ne: an explicitly
+        # requested "aggregate" strategy must fail loudly, not silently
+        # degrade to "dedup" (only "auto" may pick per comparison)
         left = [(1, "a")]
         right = [(1, "a"), (1, "a")]
-        assert existential_join(left, right, "eq", strategy="aggregate") == [(1, 1)]
+        for op in ("eq", "ne"):
+            with pytest.raises(ValueError, match="aggregate"):
+                existential_join(left, right, op, strategy="aggregate")
+            with pytest.raises(ValueError, match="aggregate"):
+                existential_compare({1: ["a"]}, {1: ["a"]}, op,
+                                    strategy="aggregate")
+        assert existential_join(left, right, "eq", strategy="auto") == [(1, 1)]
+        assert existential_join(left, right, "eq", strategy="dedup") == [(1, 1)]
 
     def test_string_values_compare_as_strings(self):
         pairs = existential_join([(1, "person0")], [(7, "person0"), (8, "other")], "eq")
@@ -47,6 +57,30 @@ class TestExistentialJoin:
     def test_empty_inputs(self):
         assert existential_join([], [(1, 1)], "eq") == []
         assert existential_join([(1, 1)], [], "lt") == []
+
+    def test_mixed_type_pairs_compare_per_pair(self):
+        # regression: ("a", 1) = "a" — the string/string pair must survive
+        # even though a numeric value is present on the left
+        left = [(1, "a"), (1, 1)]
+        assert existential_join(left, [(1, "a")], "eq") == [(1, 1)]
+        assert existential_join(left, [(1, 1)], "eq") == [(1, 1)]
+        assert existential_join(left, [(1, "b")], "eq") == []
+        # the untyped side of a numeric pair is cast per pair
+        assert existential_join([(1, "a"), (1, "2")], [(1, 2)], "eq") == [(1, 1)]
+
+    def test_mixed_type_pairs_in_both_strategies(self):
+        left = [(1, "b"), (1, 5)]
+        right = [(1, "a"), (2, 3)]
+        for strategy in ("dedup", "aggregate"):
+            # string pair "b" > "a" and numeric pair 5 > 3 both qualify
+            assert existential_join(left, right, "gt",
+                                    strategy=strategy) == [(1, 1), (1, 2)]
+
+    def test_uncastable_numeric_pairs_never_match(self):
+        # pair ("a", 1): the untyped side does not cast — no match, no error
+        assert existential_join([(1, "a")], [(1, 1)], "eq") == []
+        assert existential_join([(1, "a")], [(1, 1)], "ne") == []
+        assert existential_join([(1, "a")], [(1, 1)], "lt") == []
 
     def test_unknown_strategy(self):
         with pytest.raises(ValueError):
@@ -85,6 +119,29 @@ class TestExistentialCompare:
         for op in ("lt", "le", "gt", "ge", "eq", "ne"):
             assert existential_compare(left, right, op, strategy="dedup") == \
                 existential_compare(left, right, op, strategy="auto"), op
+
+    def test_mixed_type_pairs_compare_per_pair(self):
+        # regression: ("a", 1) = "a" must be true — the numeric item must
+        # not drag the string/string pair through a numeric cast
+        assert existential_compare({1: ["a", 1]}, {1: ["a"]}, "eq") == {1}
+        assert existential_compare({1: ["a", 1]}, {1: [1]}, "eq") == {1}
+        assert existential_compare({1: ["a", 1]}, {1: ["b"]}, "eq") == set()
+        assert existential_compare({1: ["a"]}, {1: [1]}, "eq") == set()
+        # order comparison across domains: "b" > "a" (strings), 5 > 3 (numbers)
+        assert existential_compare({1: ["b"], 2: [5]},
+                                   {1: ["a"], 2: [3]}, "gt") == {1, 2}
+
+
+class TestEngineExistentialSemantics:
+    def test_mixed_sequence_general_comparison(self, engine):
+        assert engine.query('("a", 1) = "a"').items == [True]
+        assert engine.query('("a", 1) = 1').items == [True]
+        assert engine.query('("a", 1) = "b"').items == [False]
+        assert engine.query('("a", 1) = 2').items == [False]
+
+    def test_mixed_comparison_without_documents(self):
+        from repro import MonetXQuery
+        assert MonetXQuery().query('("a", 1) = "a"').items == [True]
 
 
 class TestFlip:
