@@ -22,6 +22,7 @@ from .errors import (ReproError, RelationalError, StorageError, XMLError,
 from .xquery.engine import (EngineOptions, MonetXQuery, PlanCacheStats,
                             PreparedQuery, QueryResult)
 from .xquery.updates import XMLUpdater
+from .server import QueryServer, SubplanCache
 
 __version__ = "0.1.0"
 
@@ -31,9 +32,11 @@ __all__ = [
     "PlanCacheStats",
     "PreparedQuery",
     "QueryResult",
+    "QueryServer",
     "ReproError",
     "RelationalError",
     "StorageError",
+    "SubplanCache",
     "XMLError",
     "XMLUpdater",
     "XQueryError",

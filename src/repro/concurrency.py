@@ -1,0 +1,80 @@
+"""Dependency-free concurrency primitives for the serving layer.
+
+This module sits below everything else (it imports only the standard
+library), so the document store, the storage layer and the server package
+can all share one :class:`ReadWriteLock` implementation without import
+cycles.  It is re-exported from :mod:`repro.storage.locking` next to the
+paper's delta-ledger locking discussion.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A classic readers-writer lock with writer preference.
+
+    Any number of readers may hold the lock simultaneously; writers get
+    exclusive access.  Pending writers block *new* readers, so a steady
+    query stream cannot starve a document load/drop/update-commit.  The
+    lock is not reentrant — the document store acquires it only around
+    short dictionary operations and never while calling back into itself.
+
+        >>> lock = ReadWriteLock()
+        >>> with lock.read_locked():
+        ...     ...   # shared
+        >>> with lock.write_locked():
+        ...     ...   # exclusive
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -116,6 +116,34 @@ class PlanBuilder:
         return self._next_id
 
 
+def structural_fingerprint(node: PlanNode,
+                           memo: dict[int, str] | None = None) -> str:
+    """A fingerprint of a plan subtree that is stable *across* builders.
+
+    Hash-consed node ids identify subplans within one query; the
+    cross-query materialized subplan cache needs an identity that two
+    independently planned queries agree on (``/site/people/person`` in Q8
+    and in Q10 must map to the same cache slot).  The fingerprint is a
+    SHA-1 over the canonical ``(kind, params, child fingerprints)``
+    rendering of the subtree, memoised per node id so DAG sharing keeps
+    the walk linear.
+    """
+    import hashlib
+
+    if memo is None:
+        memo = {}
+
+    cached = memo.get(node.id)
+    if cached is not None:
+        return cached
+    child_prints = [structural_fingerprint(child, memo)
+                    for child in node.children]
+    payload = repr((node.kind, node.params, child_prints))
+    fingerprint = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+    memo[node.id] = fingerprint
+    return fingerprint
+
+
 def count_references(roots: list[PlanNode]) -> dict[int, int]:
     """Parent-edge counts per node id across one or more plan roots.
 

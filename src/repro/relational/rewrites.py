@@ -32,7 +32,12 @@ this module is the equivalent pass over the logical plans built by
 * **common-subexpression sharing** — plans are hash-consed DAGs, so
   repeated subexpressions are already *structurally* shared; this pass
   marks the shared, side-effect-free nodes so the executor can memoise
-  their result per (loop, environment) and execute them once.
+  their result per (loop, environment) and execute them once,
+* **cacheable-subplan marking** — loop-invariant absolute-path subplans
+  (pure, free variables at most the context item) get a builder-
+  independent structural fingerprint; the serving layer materializes
+  their results *across queries* keyed on that fingerprint plus the
+  document-store schema version and the context root.
 
 All analyses are side tables keyed by ``PlanNode.id``; only the FLWOR
 rules rebuild plan nodes (moving conjuncts, adding the ``join``/``joins``/
@@ -45,7 +50,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
 from .cardinality import CardinalityEstimator, StoreStatistics
-from .plan import PlanBuilder, PlanNode, count_references, render_plan
+from .plan import (PlanBuilder, PlanNode, count_references, render_plan,
+                   structural_fingerprint)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..xquery.planner import ModulePlan
@@ -266,6 +272,11 @@ class OptimizedModulePlan:
     #: flwor node id -> cardinality estimates of its recognized joins
     join_estimates: dict[int, tuple[JoinEstimate, ...]] = \
         field(default_factory=dict)
+    #: node id -> builder-independent structural fingerprint of subplans
+    #: that are loop-invariant absolute paths (safe to materialize in the
+    #: cross-query subplan cache, keyed additionally on the document-store
+    #: schema version and the context root)
+    cache_keys: dict[int, str] = field(default_factory=dict)
 
     def required_columns(self, node: PlanNode) -> frozenset[str]:
         return self.cols.get(node.id, FULL_COLUMNS)
@@ -275,6 +286,11 @@ class OptimizedModulePlan:
 
     def is_pure(self, node: PlanNode) -> bool:
         return node.id not in self.impure
+
+    def cache_key(self, node: PlanNode) -> str | None:
+        """The cross-query cache fingerprint of a cacheable subplan
+        (``None`` when the node was not marked cacheable)."""
+        return self.cache_keys.get(node.id)
 
     def roots(self) -> list[PlanNode]:
         roots = [self.body]
@@ -294,6 +310,8 @@ class OptimizedModulePlan:
                         if name in required) + "]")
             if node.id in self.shared:
                 notes.append("(shared)")
+            if node.id in self.cache_keys:
+                notes.append("(cacheable)")
             if node.kind == "flwor" and node.p("join") is not None:
                 triples = node.p("joins") or (node.p("join"),)
                 estimates = {(e.clause, e.conjunct, e.side): e
@@ -343,6 +361,7 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
     cost_based_joins = getattr(options, "cost_based_joins", True)
     projection_pushdown = getattr(options, "projection_pushdown", True)
     subplan_sharing = getattr(options, "subplan_sharing", True)
+    cross_query_caching = getattr(options, "cross_query_caching", True)
 
     report = RewriteReport()
     free = FreeVariables(module_plan.functions)
@@ -405,10 +424,99 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
             report.fire("common-subexpressions",
                         f"{len(shared)} shared subplans will execute once")
 
+    # 4. cross-query cacheable subplans: loop-invariant absolute paths
+    cache_keys: dict[int, str] = {}
+    if cross_query_caching:
+        cache_keys = _cacheable_subplans(roots, free, impure, functions)
+        if cache_keys:
+            report.fire(
+                "cacheable-subplans",
+                f"{len(cache_keys)} absolute-path subplans may be "
+                "materialized across queries")
+
     return OptimizedModulePlan(body=body, globals=globals_,
                                functions=functions, cols=cols,
                                shared=shared, impure=impure, free=free,
-                               report=report, join_estimates=join_estimates)
+                               report=report, join_estimates=join_estimates,
+                               cache_keys=cache_keys)
+
+
+# --------------------------------------------------------------------------- #
+# cross-query cacheable subplans (materialized-view candidates)
+# --------------------------------------------------------------------------- #
+def _cacheable_subplans(roots: list[PlanNode], free: FreeVariables,
+                        impure: frozenset[int],
+                        functions: dict[str, Any]) -> dict[int, str]:
+    """Mark loop-invariant absolute-path subplans for cross-query caching.
+
+    A ``step`` node qualifies when
+
+    * its context spine (the chain of first children) bottoms out at a
+      ``root`` node — the subplan is an *absolute* path, so its value
+      depends only on the context document root, never on the loop,
+    * its free variables are at most the context item ``.`` (no FLWOR
+      bindings, globals, or the dynamic ``position()``/``last()``
+      registers — predicates referencing those are conservatively
+      rejected because the free-variable analysis surfaces them),
+    * the subtree calls no user-declared functions — the structural
+      fingerprint covers only the call site, not the function body, so
+      two queries declaring a same-named function with different bodies
+      would otherwise collide on one cache slot, and
+    * the subtree is pure (no node constructors, which mint fresh node
+      identities on every execution).
+
+    Such a subplan evaluated anywhere yields the same item sequence per
+    iteration, which is what lets the serving layer treat its
+    materialisation as a shared index structure: the result is cached
+    across queries keyed on the structural fingerprint + document-store
+    schema version + context root, and re-lifted into whatever loop the
+    consuming query runs under.  Every prefix of a qualifying path
+    qualifies too, so hot path prefixes (``/site/people``) are shared
+    even between queries that diverge afterwards.
+    """
+    fingerprints: dict[int, str] = {}
+    spine_memo: dict[int, bool] = {}
+    user_call_memo: dict[int, bool] = {}
+    user_functions = {_strip_fn(name) for name in functions}
+    keys: dict[int, str] = {}
+
+    def calls_user_function(node: PlanNode) -> bool:
+        cached = user_call_memo.get(node.id)
+        if cached is not None:
+            return cached
+        result = (node.kind == "call"
+                  and _strip_fn(node.p("name")) in user_functions) \
+            or any(calls_user_function(child) for child in node.children)
+        user_call_memo[node.id] = result
+        return result
+
+    def absolute_spine(node: PlanNode) -> bool:
+        cached = spine_memo.get(node.id)
+        if cached is not None:
+            return cached
+        if node.kind == "root":
+            result = True
+        elif node.kind in ("step", "filter") and node.children:
+            result = absolute_spine(node.children[0])
+        else:
+            result = False
+        spine_memo[node.id] = result
+        return result
+
+    for root in roots:
+        for node in root.walk():
+            if node.kind != "step" or node.id in keys:
+                continue
+            if node.id in impure:
+                continue
+            if not absolute_spine(node):
+                continue
+            if free(node) - {"."}:
+                continue
+            if calls_user_function(node):
+                continue
+            keys[node.id] = structural_fingerprint(node, fingerprints)
+    return keys
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,19 @@
+"""Concurrent query serving: :class:`QueryServer` + the cross-query
+materialized subplan cache (:class:`SubplanCache`).
+
+    >>> from repro.server import QueryServer
+    >>> with QueryServer(threads=4) as server:
+    ...     server.load_document_text("<a><b/></a>", name="doc.xml")
+    ...     server.execute("count(//b)").items
+    [1]
+"""
+
+from .server import QueryServer, ServerStats
+from .subplan_cache import SubplanCache, SubplanCacheStats
+
+__all__ = [
+    "QueryServer",
+    "ServerStats",
+    "SubplanCache",
+    "SubplanCacheStats",
+]

@@ -1,0 +1,227 @@
+"""The concurrent query-serving layer.
+
+MonetDB/XQuery's selling point is serving heavy repeated XQuery traffic on
+a relational engine; :class:`QueryServer` is that serving layer for this
+reproduction.  It turns the (thread-safe, but single-client-oriented)
+:class:`~repro.xquery.engine.MonetXQuery` library into a multi-client
+system:
+
+* **concurrent clients** — queries are accepted from any thread
+  (:meth:`QueryServer.execute`) or dispatched onto the server's worker
+  pool (:meth:`QueryServer.submit` / :meth:`QueryServer.run_batch`),
+* **shared prepared-plan cache** — all threads prepare through the
+  engine's lock-guarded LRU, so a hot query text is parsed/planned/
+  optimized once no matter which client sends it,
+* **per-execution isolation** — every execution gets a private transient
+  container for constructed nodes (immutable :class:`PreparedQuery` plans
+  carry no execution state, so they are freely shared),
+* **cross-query materialized subplan cache** — loop-invariant
+  absolute-path subplans marked by the rewrite optimizer are materialised
+  once and reused across queries and threads
+  (:class:`~repro.server.subplan_cache.SubplanCache`),
+* **serialized writers** — document loads/drops and update commits are
+  funnelled through one mutation lock; each bumps the document store's
+  schema version, which atomically invalidates both caches (their keys
+  embed the version).
+
+The thread-safety contract: readers never block readers; writers are
+serialized among themselves and atomic with respect to readers (a query
+sees either the complete old or the complete new document state, never a
+mix); every cached artifact is keyed on the schema version it was built
+against.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..xquery.engine import (EngineOptions, MonetXQuery, PlanCacheStats,
+                             PreparedQuery, QueryResult)
+from ..xquery.updates import XMLUpdater
+from .subplan_cache import SubplanCache, SubplanCacheStats
+
+
+@dataclass
+class ServerStats:
+    """A point-in-time snapshot of the server's serving state."""
+
+    threads: int
+    queries_served: int
+    store_version: int
+    documents: list[str] = field(default_factory=list)
+    plan_cache: PlanCacheStats = field(default_factory=PlanCacheStats)
+    subplan_cache: SubplanCacheStats = field(default_factory=SubplanCacheStats)
+    subplan_entries: int = 0
+
+    def render(self) -> str:
+        return (f"threads={self.threads} served={self.queries_served} "
+                f"version={self.store_version} "
+                f"plans[hit={self.plan_cache.hits} "
+                f"miss={self.plan_cache.misses} "
+                f"evict={self.plan_cache.evictions}] "
+                f"subplans[hit={self.subplan_cache.hits} "
+                f"miss={self.subplan_cache.misses} "
+                f"entries={self.subplan_entries}]")
+
+
+class QueryServer:
+    """Serve XQuery traffic from concurrent clients over one engine.
+
+        >>> server = QueryServer(threads=4)
+        >>> server.load_document_text("<a><b/><b/></a>", name="doc.xml")
+        >>> futures = [server.submit("count(//b)") for _ in range(8)]
+        >>> [f.result().items for f in futures][0]
+        [2]
+        >>> server.close()
+
+    The server can also wrap an existing engine (``QueryServer(engine)``),
+    attaching a shared :class:`SubplanCache` to it unless it already has
+    one.  Use it as a context manager to get deterministic shutdown.
+    """
+
+    def __init__(self, engine: MonetXQuery | None = None, *,
+                 threads: int = 4, options: EngineOptions | None = None,
+                 plan_cache_size: int = 256, subplan_cache_size: int = 256):
+        if engine is None:
+            engine = MonetXQuery(options=options,
+                                 plan_cache_size=plan_cache_size)
+        self.engine = engine
+        if engine.subplan_cache is None and subplan_cache_size > 0:
+            engine.subplan_cache = SubplanCache(subplan_cache_size)
+        self.subplan_cache: SubplanCache | None = engine.subplan_cache
+        self.threads = threads
+        self._pool = ThreadPoolExecutor(max_workers=threads,
+                                        thread_name_prefix="repro-serve")
+        # reentrant: a writer inside an update() block may load/drop too
+        self._mutation_lock = threading.RLock()
+        self._served = 0
+        self._served_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # document management (writers, serialized)
+    # ------------------------------------------------------------------ #
+    def load_document_text(self, text: str, name: str, *,
+                           default_context: bool = True) -> None:
+        """Shred and publish a document (atomic: readers see it complete)."""
+        with self._mutation_lock:
+            self.engine.load_document_text(text, name,
+                                           default_context=default_context)
+            self._reclaim_stale()
+
+    def load_document(self, path: str, name: str | None = None, *,
+                      default_context: bool = True) -> None:
+        with self._mutation_lock:
+            self.engine.load_document(path, name,
+                                      default_context=default_context)
+            self._reclaim_stale()
+
+    def drop_document(self, name: str) -> None:
+        with self._mutation_lock:
+            self.engine.drop_document(name)
+            self._reclaim_stale()
+
+    @contextmanager
+    def update(self, document_name: str, **updater_kwargs: Any
+               ) -> Iterator[XMLUpdater]:
+        """An update transaction: mutate inside the block, commit on exit.
+
+            >>> with server.update("doc.xml") as updater:          # doctest: +SKIP
+            ...     [target] = updater.select("/a/b[1]")
+            ...     updater.delete(target)
+
+        The commit swaps the document atomically and bumps the schema
+        version, so no query — and no cached plan or materialized subplan —
+        can ever observe a half-committed state.
+        """
+        with self._mutation_lock:
+            updater = XMLUpdater(self.engine, document_name, **updater_kwargs)
+            yield updater
+            updater.commit()
+            self._reclaim_stale()
+
+    def _reclaim_stale(self) -> None:
+        """Free cache entries stranded behind the new schema version.
+
+        Purely a memory measure: version-embedding keys already guarantee
+        stale entries can never be served.
+        """
+        if self.subplan_cache is not None:
+            self.subplan_cache.invalidate(self.engine.store.version)
+
+    # ------------------------------------------------------------------ #
+    # serving (readers, concurrent)
+    # ------------------------------------------------------------------ #
+    def prepare(self, query: str, *,
+                options: EngineOptions | None = None) -> PreparedQuery:
+        """Prepare through the shared, lock-guarded plan cache."""
+        return self.engine.prepare(query, options=options)
+
+    def execute(self, query: str, *, context: str | None = None,
+                options: EngineOptions | None = None) -> QueryResult:
+        """Prepare (cached) and execute a query in the calling thread."""
+        prepared = self.engine.prepare(query, options=options)
+        return self.execute_prepared(prepared, context=context)
+
+    def execute_prepared(self, prepared: PreparedQuery, *,
+                         context: str | None = None) -> QueryResult:
+        """Execute an immutable prepared plan with a private transient
+        container (concurrent executions never share constructed-node
+        storage)."""
+        transient = self.engine.store.new_container("(transient)",
+                                                    transient=True)
+        result = self.engine._run_prepared(prepared, context=context,
+                                           transient=transient)
+        with self._served_lock:
+            self._served += 1
+        return result
+
+    def submit(self, query: str, *, context: str | None = None,
+               options: EngineOptions | None = None) -> "Future[QueryResult]":
+        """Dispatch a query onto the worker pool; returns a future."""
+        if self._closed:
+            raise RuntimeError("QueryServer is closed")
+        return self._pool.submit(self.execute, query, context=context,
+                                 options=options)
+
+    def run_batch(self, queries: Iterable[str], *,
+                  context: str | None = None) -> list[QueryResult]:
+        """Run a batch of query texts concurrently; results in input order."""
+        futures = [self.submit(query, context=context) for query in queries]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServerStats:
+        with self._served_lock:
+            served = self._served
+        subplan_stats = SubplanCacheStats()
+        subplan_entries = 0
+        if self.subplan_cache is not None:
+            subplan_stats = self.subplan_cache.stats.snapshot()
+            subplan_entries = len(self.subplan_cache)
+        return ServerStats(
+            threads=self.threads,
+            queries_served=served,
+            store_version=self.engine.store.version,
+            documents=self.engine.store.names(),
+            plan_cache=self.engine.plan_cache_stats.snapshot(),
+            subplan_cache=subplan_stats,
+            subplan_entries=subplan_entries,
+        )
+
+    def close(self, *, wait: bool = True) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,146 @@
+"""The cross-query materialized subplan cache.
+
+The rewrite optimizer marks *loop-invariant absolute-path* subplans
+(``/site/people/person`` and every prefix of it) with a builder-independent
+structural fingerprint (:func:`repro.relational.plan.structural_fingerprint`).
+This cache stores their materialised ``item`` sequences **across queries and
+threads**: two different queries that both navigate ``/site/people/person``
+share one materialisation, turning the plan cache into a materialized-view
+layer for hot XMark traffic — the free-connex structural-indexing view of a
+cached path result as a reusable index structure.
+
+Staleness is impossible by construction rather than by invalidation
+callbacks: every key embeds the :attr:`DocumentStore.version
+<repro.xml.document.DocumentStore.version>` schema version current at
+execution time, so after any load/drop/update-commit the very same subplan
+computes a *different* key and misses.  :meth:`SubplanCache.invalidate` only
+reclaims the memory of entries stranded behind a version boundary; it is
+never needed for correctness.
+
+Entries pin their source :class:`DocumentContainer` (a strong reference),
+which guarantees the ``id(container)`` component of the key cannot be
+recycled by the allocator while the entry lives, and that the cached
+:class:`NodeRef` items always point into live storage.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+
+@dataclass
+class SubplanCacheStats:
+    """Hit/miss/eviction/invalidation counters (mutated under the cache lock)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def clear(self) -> None:
+        self.hits = self.misses = self.evictions = self.invalidations = 0
+
+    def snapshot(self) -> "SubplanCacheStats":
+        """An independent copy (for reporting from another thread)."""
+        return SubplanCacheStats(self.hits, self.misses,
+                                 self.evictions, self.invalidations)
+
+
+class SubplanCache:
+    """A thread-safe LRU of materialised subplan results.
+
+    Keys are built through :meth:`make_key` —
+    ``(fingerprint, store version, container identity, context root)`` —
+    and values are immutable item tuples, so concurrent readers can share
+    them without copying.  All operations are guarded by one lock; the
+    executor computes misses *outside* the lock, so two threads may race
+    to materialize the same subplan — the first insert wins and later ones
+    adopt the already-cached tuple (stable identity, identical content).
+    """
+
+    #: index of the schema-version component inside keys from make_key()
+    _VERSION_SLOT = 1
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self.stats = SubplanCacheStats()
+        self._lock = threading.Lock()
+        # key -> (items, pinned container)
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    @staticmethod
+    def make_key(fingerprint: str, version: int, container: Any,
+                 root_pre: int) -> tuple:
+        """The cache key of one (subplan, document state, context root)."""
+        return (fingerprint, version, id(container), root_pre)
+
+    def lookup(self, key: tuple) -> tuple | None:
+        """The cached item tuple, or ``None`` (counted as a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
+
+    def insert(self, key: tuple, items: Sequence[Any], *,
+               pin: Any = None) -> tuple:
+        """Store a materialised result; returns the canonical item tuple.
+
+        ``pin`` keeps the source document container alive for the lifetime
+        of the entry.  If another thread inserted the same key first, its
+        tuple is returned instead so all consumers share one object.
+        """
+        materialized = tuple(items)
+        if self.capacity <= 0:
+            return materialized
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing[0]
+            self._entries[key] = (materialized, pin)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return materialized
+
+    def invalidate(self, current_version: int | None = None) -> int:
+        """Reclaim entries stranded behind a schema-version boundary.
+
+        Keys embed their version, so stale entries can never be *served*;
+        this only frees their memory.  With ``current_version`` the entries
+        of other versions are dropped; with ``None`` everything is.
+        Returns the number of entries removed.
+        """
+        with self._lock:
+            if current_version is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [key for key in self._entries
+                         if key[self._VERSION_SLOT] != current_version]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            self.stats.invalidations += dropped
+            return dropped
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[tuple]:
+        """A snapshot of the current keys (diagnostics/tests)."""
+        with self._lock:
+            return list(self._entries)

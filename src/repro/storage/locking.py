@@ -1,4 +1,12 @@
-"""Size-delta ledger: commit-time maintenance of ancestor ``size`` values.
+"""Locking primitives and the size-delta ledger.
+
+:class:`ReadWriteLock` is the shared/exclusive lock the document store
+uses to stay consistent under concurrent serving (many reader threads
+running queries, occasional writers loading/dropping documents or
+committing update batches).
+
+The rest of the module is the size-delta ledger: commit-time maintenance
+of ancestor ``size`` values.
 
 Section 5.2 points out that a structural update changes the ``size`` of every
 ancestor of the update point — including the document root — which would
@@ -16,6 +24,11 @@ transactions updating the same ancestor's size without conflicting).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..concurrency import ReadWriteLock
+
+__all__ = ["DeltaRecord", "ReadWriteLock", "SizeDeltaLedger",
+           "TransactionManager"]
 
 
 @dataclass

@@ -28,6 +28,7 @@ from ..errors import DocumentError
 from ..relational.column import Column
 from ..relational.properties import ColumnProps, TableProps
 from ..relational.table import Table
+from ..concurrency import ReadWriteLock
 from .names import NamePool, QName
 
 
@@ -350,62 +351,113 @@ class DocumentContainer:
 
 
 class DocumentStore:
-    """The "loaded documents" table: all persistent and transient containers."""
+    """The "loaded documents" table: all persistent and transient containers.
+
+    The store is **thread-safe**: lookups take a shared (read) lock, and
+    every change to the set of loaded documents — load, register, drop,
+    :meth:`replace` (update commit) — takes the exclusive (write) lock and
+    bumps the monotonically increasing :attr:`version`.  That version is
+    the invalidation token of the serving layer: prepared plans and
+    cross-query materialized subplan results are cached against it, so a
+    cached artifact can never be served across a schema-version boundary.
+
+    Containers themselves follow a snapshot discipline: they are filled
+    *before* registration and never mutated afterwards (updates commit by
+    atomically replacing the container), so readers that already hold a
+    container reference keep a consistent snapshot without locking.
+    """
 
     def __init__(self) -> None:
         self._documents: dict[str, DocumentContainer] = {}
         self._order_counter = 0
         self._version = 0
+        self._lock = ReadWriteLock()
 
     @property
     def version(self) -> int:
         """Schema version: bumped whenever the set of loaded documents
         changes (load, register, drop, update commit).  Prepared query
-        plans are cached against this number."""
-        return self._version
-
-    def _next_order_key(self) -> int:
-        self._order_counter += 1
-        return self._order_counter
+        plans and materialized subplan results are cached against this
+        number."""
+        with self._lock.read_locked():
+            return self._version
 
     def new_container(self, name: str, *, transient: bool = False) -> DocumentContainer:
-        if not transient and name in self._documents:
-            raise DocumentError(f"document {name!r} already loaded")
-        container = DocumentContainer(name, self._next_order_key(), transient=transient)
-        if not transient:
-            self._documents[name] = container
-            self._version += 1
-        return container
+        with self._lock.write_locked():
+            if not transient and name in self._documents:
+                raise DocumentError(f"document {name!r} already loaded")
+            self._order_counter += 1
+            container = DocumentContainer(name, self._order_counter,
+                                          transient=transient)
+            if not transient:
+                self._documents[name] = container
+                self._version += 1
+            return container
+
+    def detached_container(self, name: str) -> DocumentContainer:
+        """A persistent-to-be container that is *not yet* registered.
+
+        Shredding fills the container first and registers it afterwards
+        (:meth:`register`), so concurrent readers never observe a
+        half-shredded document.  The name collision is re-checked at
+        registration time.
+        """
+        with self._lock.write_locked():
+            if name in self._documents:
+                raise DocumentError(f"document {name!r} already loaded")
+            self._order_counter += 1
+            return DocumentContainer(name, self._order_counter)
 
     def register(self, container: DocumentContainer) -> None:
         """Register an externally built (already shredded) container."""
-        if container.name in self._documents:
-            raise DocumentError(f"document {container.name!r} already loaded")
-        self._documents[container.name] = container
-        self._version += 1
+        with self._lock.write_locked():
+            if container.name in self._documents:
+                raise DocumentError(f"document {container.name!r} already loaded")
+            self._documents[container.name] = container
+            self._version += 1
+
+    def replace(self, container: DocumentContainer) -> None:
+        """Atomically swap a loaded document for an updated container.
+
+        Used by update commits: unlike a ``drop`` + ``register`` pair there
+        is no window in which the document is missing, and the schema
+        version advances exactly once.  Queries already running keep their
+        snapshot of the old container; queries prepared after the swap see
+        the new content.
+        """
+        with self._lock.write_locked():
+            if container.name not in self._documents:
+                raise DocumentError(f"document {container.name!r} is not loaded")
+            self._documents[container.name] = container
+            self._version += 1
 
     def get(self, name: str) -> DocumentContainer:
-        try:
-            return self._documents[name]
-        except KeyError:
-            raise DocumentError(f"document {name!r} is not loaded") from None
+        with self._lock.read_locked():
+            try:
+                return self._documents[name]
+            except KeyError:
+                raise DocumentError(f"document {name!r} is not loaded") from None
 
     def drop(self, name: str) -> None:
-        if name not in self._documents:
-            raise DocumentError(f"document {name!r} is not loaded")
-        del self._documents[name]
-        self._version += 1
+        with self._lock.write_locked():
+            if name not in self._documents:
+                raise DocumentError(f"document {name!r} is not loaded")
+            del self._documents[name]
+            self._version += 1
 
     def names(self) -> list[str]:
-        return list(self._documents)
+        with self._lock.read_locked():
+            return list(self._documents)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._documents
+        with self._lock.read_locked():
+            return name in self._documents
 
     def loaded_documents_table(self) -> Table:
         """The loaded-document table of Figure 9 as a relational Table."""
-        names = list(self._documents)
-        containers = [self._documents[name] for name in names]
+        with self._lock.read_locked():
+            names = list(self._documents)
+            containers = [self._documents[name] for name in names]
         columns = [
             Column("doc", names),
             Column("nodes", [container.node_count for container in containers]),
@@ -421,7 +473,9 @@ class DocumentStore:
         docs: list[str] = []
         tags: list[str] = []
         counts: list[int] = []
-        for name, container in self._documents.items():
+        with self._lock.read_locked():
+            snapshot = dict(self._documents)
+        for name, container in snapshot.items():
             for tag, count in sorted(container.tag_counts().items()):
                 docs.append(name)
                 tags.append(tag)
@@ -431,4 +485,5 @@ class DocumentStore:
 
     def containers(self) -> list[DocumentContainer]:
         """All loaded (persistent) containers."""
-        return list(self._documents.values())
+        with self._lock.read_locked():
+            return list(self._documents.values())

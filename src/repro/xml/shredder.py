@@ -101,9 +101,16 @@ def shred_string(text: str, container: DocumentContainer, *,
 
 def shred_document(text: str, name: str, store: DocumentStore, *,
                    keep_whitespace: bool = False) -> DocumentContainer:
-    """Shred an XML string into a new named persistent container."""
-    container = store.new_container(name)
+    """Shred an XML string into a new named persistent container.
+
+    The container is filled *before* it is registered with the store, so
+    concurrent readers never observe a partially shredded document (the
+    registration is the atomic publication point that bumps the store's
+    schema version).
+    """
+    container = store.detached_container(name)
     shred_string(text, container, keep_whitespace=keep_whitespace)
+    store.register(container)
     return container
 
 

@@ -78,6 +78,9 @@ class LoopLiftingCompiler:
         self._plan: OptimizedModulePlan | None = None
         self._memo: dict[tuple, Any] = {}
         self._memo_pins: list[Any] = []
+        self._subplan_cache = getattr(engine, "subplan_cache", None)
+        if not getattr(self.options, "cross_query_caching", True):
+            self._subplan_cache = None
 
     # ------------------------------------------------------------------ #
     # entry points
@@ -122,6 +125,13 @@ class LoopLiftingCompiler:
     # ------------------------------------------------------------------ #
     def compile(self, node: PlanNode, loop, env: dict):
         """Execute one plan node under the given loop relation/environment."""
+        if self._subplan_cache is not None and self._plan is not None:
+            fingerprint = self._plan.cache_key(node)
+            if fingerprint is not None:
+                materialized = self._materialized_subplan(node, fingerprint,
+                                                          loop, env)
+                if materialized is not None:
+                    return materialized
         key = None
         if self._plan is not None and self._plan.is_shared(node) \
                 and self._plan.is_pure(node):
@@ -138,6 +148,58 @@ class LoopLiftingCompiler:
         if key is not None:
             self._memo[key] = result
         return result
+
+    def _materialized_subplan(self, node: PlanNode, fingerprint: str,
+                              loop, env: dict):
+        """Serve a cacheable absolute-path subplan from the shared
+        cross-query cache (evaluating and materializing it on a miss).
+
+        The rewrite optimizer established statically that the subplan is a
+        pure absolute path depending on at most the context item; what
+        remains dynamic is pinning down *which* document root every
+        iteration sees.  When all iterations share one persistent root the
+        result is loop-invariant: it is computed once under a unit loop,
+        cached keyed on (fingerprint, store version, container identity,
+        root), and re-lifted into the current loop.  Returns ``None`` to
+        fall back to ordinary evaluation (no/ambiguous/transient context).
+        """
+        context = env.get(".")
+        if context is None or loop.row_count == 0:
+            return None
+        container = None
+        root_pre = -1
+        for item in context.col("item"):
+            if not isinstance(item, NodeRef):
+                return None
+            if item.container.transient:
+                return None
+            pre = item.container.root_pre(item.pre)
+            if container is None:
+                container, root_pre = item.container, pre
+            elif container is not item.container or root_pre != pre:
+                return None
+        if container is None:
+            return None
+        key = self._subplan_cache.make_key(
+            fingerprint, self.engine.store.version, container, root_pre)
+        items = self._subplan_cache.lookup(key)
+        if items is None:
+            base_loop = unit_loop()
+            base_env = {".": lift_constant(base_loop,
+                                           NodeRef(container, root_pre))}
+            # dispatch directly (not via compile()) so this node cannot
+            # consult the cache again; nested prefix steps still go through
+            # compile() and populate their own cache slots
+            method = getattr(self, f"_exec_{node.kind.replace('-', '_')}")
+            table = method(node, base_loop, base_env)
+            items = tuple(sequence_items(table, 1))
+            items = self._subplan_cache.insert(key, items, pin=container)
+            explain.record("plan", "plan.subplan.materialize",
+                           len(items), len(items), detail=node.kind)
+        else:
+            explain.record("plan", "plan.subplan.hit",
+                           len(items), len(items), detail=node.kind)
+        return lift_items(loop, items)
 
     def _memo_key(self, node: PlanNode, loop, env: dict) -> tuple:
         """Fingerprint of everything a subplan's value can depend on.

@@ -15,6 +15,7 @@ optimization, positional lookup).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import astuple, dataclass, field, replace
@@ -73,6 +74,12 @@ class EngineOptions:
     #: from document statistics, pick build sides and order join clauses
     #: smallest-build-first
     cost_based_joins: bool = True
+    #: cross-query materialized subplan cache: loop-invariant absolute-path
+    #: subplans are fingerprinted at rewrite time and their materialised
+    #: results shared across queries (and threads) keyed on fingerprint +
+    #: document-store schema version + context root — only active when a
+    #: :class:`repro.server.SubplanCache` is attached to the engine
+    cross_query_caching: bool = True
 
     def replace(self, **changes: Any) -> "EngineOptions":
         return replace(self, **changes)
@@ -84,7 +91,12 @@ class EngineOptions:
 
 @dataclass
 class PlanCacheStats:
-    """Hit/miss/eviction counters of the engine's prepared-plan cache."""
+    """Hit/miss/eviction counters of the engine's prepared-plan cache.
+
+    Counters are mutated only under the engine's plan-cache lock, so under
+    concurrent serving every ``prepare()`` call accounts for exactly one
+    hit or one miss and ``hits + misses`` equals the number of calls.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -92,6 +104,10 @@ class PlanCacheStats:
 
     def clear(self) -> None:
         self.hits = self.misses = self.evictions = 0
+
+    def snapshot(self) -> "PlanCacheStats":
+        """An independent copy (for reporting from another thread)."""
+        return PlanCacheStats(self.hits, self.misses, self.evictions)
 
 
 @dataclass
@@ -145,17 +161,34 @@ class QueryResult:
 
 
 class MonetXQuery:
-    """A relational XQuery processor over shredded XML documents."""
+    """A relational XQuery processor over shredded XML documents.
+
+    The engine is safe to *share* across threads for query evaluation: the
+    document store is RW-locked, the prepared-plan cache (and its counters)
+    is guarded by a lock, and prepared plans are immutable.  Concurrent
+    callers that construct nodes should evaluate with a private transient
+    container (as :class:`repro.server.QueryServer` does via its per-thread
+    executors) — the default shared ``transient`` container is only safe
+    for single-threaded use.
+
+    ``subplan_cache`` optionally attaches a cross-query materialized
+    subplan cache (:class:`repro.server.SubplanCache`): loop-invariant
+    absolute-path subplans marked by the rewrite optimizer are then
+    evaluated once and their materialised results reused across queries,
+    keyed on plan fingerprint + document-store schema version.
+    """
 
     def __init__(self, options: EngineOptions | None = None, *,
-                 plan_cache_size: int = 64):
+                 plan_cache_size: int = 64, subplan_cache: Any = None):
         self.options = options if options is not None else EngineOptions()
         self.store = DocumentStore()
         self.transient = self.store.new_container("(transient)", transient=True)
+        self.subplan_cache = subplan_cache
         self._default_context: str | None = None
         self.plan_cache_size = plan_cache_size
         self.plan_cache_stats = PlanCacheStats()
         self._plan_cache: OrderedDict[tuple, PreparedQuery] = OrderedDict()
+        self._plan_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # document management
@@ -228,13 +261,17 @@ class MonetXQuery:
         """
         active = options if options is not None else self.options
         key = (query, self.store.version, active.fingerprint())
-        cached = self._plan_cache.get(key)
-        if cached is not None:
-            self._plan_cache.move_to_end(key)
-            self.plan_cache_stats.hits += 1
-            explain.record("plan", "plan.cache.hit", 0, 0, detail="prepare")
-            return cached
-        self.plan_cache_stats.misses += 1
+        with self._plan_lock:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                self._plan_cache.move_to_end(key)
+                self.plan_cache_stats.hits += 1
+                explain.record("plan", "plan.cache.hit", 0, 0, detail="prepare")
+                return cached
+            self.plan_cache_stats.misses += 1
+        # parse/plan/optimize outside the lock: compilation never blocks
+        # concurrent cache hits (two threads may race to compile the same
+        # text; the first insert wins and object identity stays stable)
         explain.record("plan", "plan.cache.miss", 0, 0, detail="prepare")
         module = parser.parse(query)
         optimized = optimize(plan_module(module), active,
@@ -242,10 +279,14 @@ class MonetXQuery:
         prepared = PreparedQuery(text=query, plan=optimized,
                                  options=active, engine=self)
         if self.plan_cache_size > 0:
-            self._plan_cache[key] = prepared
-            while len(self._plan_cache) > self.plan_cache_size:
-                self._plan_cache.popitem(last=False)
-                self.plan_cache_stats.evictions += 1
+            with self._plan_lock:
+                existing = self._plan_cache.get(key)
+                if existing is not None:
+                    return existing
+                self._plan_cache[key] = prepared
+                while len(self._plan_cache) > self.plan_cache_size:
+                    self._plan_cache.popitem(last=False)
+                    self.plan_cache_stats.evictions += 1
         return prepared
 
     def explain(self, query: str, *,
@@ -254,8 +295,15 @@ class MonetXQuery:
         return self.prepare(query, options=options).explain()
 
     def clear_plan_cache(self) -> None:
-        """Drop all cached prepared queries (counters are kept)."""
-        self._plan_cache.clear()
+        """Drop all cached prepared queries (counters are kept).
+
+        Safe while other threads run or hold :class:`PreparedQuery`
+        objects — a prepared query is self-contained, so in-flight
+        executions finish on the plan they already have; only future
+        ``prepare()`` calls miss.
+        """
+        with self._plan_lock:
+            self._plan_cache.clear()
 
     def execute(self, module, *, context: str | None = None,
                 options: EngineOptions | None = None) -> QueryResult:
@@ -270,8 +318,13 @@ class MonetXQuery:
                            step_stats=compiler.step_stats)
 
     def _run_prepared(self, prepared: PreparedQuery, *,
-                      context: str | None = None) -> QueryResult:
-        compiler = LoopLiftingCompiler(_EngineView(self, prepared.options))
+                      context: str | None = None,
+                      transient=None) -> QueryResult:
+        """Execute a prepared plan.  ``transient`` optionally supplies a
+        private container for constructed nodes — the serving layer passes
+        a per-execution container so concurrent queries never share one."""
+        compiler = LoopLiftingCompiler(
+            _EngineView(self, prepared.options, transient=transient))
         context_item = self._context_item(context)
         started = time.perf_counter()
         items = compiler.run_optimized(prepared.plan,
@@ -289,9 +342,13 @@ class MonetXQuery:
 
 
 class _EngineView:
-    """What the compiler sees of the engine: store, transient container, options."""
+    """What the compiler sees of the engine: store, transient container,
+    options, and the (optional) shared cross-query subplan cache."""
 
-    def __init__(self, engine: MonetXQuery, options: EngineOptions):
+    def __init__(self, engine: MonetXQuery, options: EngineOptions,
+                 transient=None):
         self.store = engine.store
-        self.transient = engine.transient
+        self.transient = transient if transient is not None \
+            else engine.transient
         self.options = options
+        self.subplan_cache = engine.subplan_cache

@@ -104,9 +104,17 @@ class XMLUpdater:
     # publishing
     # ------------------------------------------------------------------ #
     def commit(self) -> DocumentContainer:
-        """Re-publish the updated document under its name in the engine store."""
+        """Re-publish the updated document under its name in the engine store.
+
+        The swap is atomic (:meth:`DocumentStore.replace`): concurrent
+        queries either see the complete old document or the complete new
+        one, never a missing document or a half-committed state.  The
+        store's schema version advances, invalidating cached plans and
+        materialized subplan results.
+        """
         updated = self.updatable.to_container(self.document_name)
-        self.engine.store.drop(self.document_name)
         updated.name = self.document_name
-        self.engine.store.register(updated)
+        previous = self.engine.store.get(self.document_name)
+        updated.order_key = previous.order_key
+        self.engine.store.replace(updated)
         return updated

@@ -93,4 +93,5 @@ def all_options_off() -> EngineOptions:
         subplan_sharing=False,
         predicate_pushdown=False,
         cost_based_joins=False,
+        cross_query_caching=False,
     )

@@ -1,0 +1,345 @@
+"""Concurrency stress: the serving layer under mixed query/update traffic.
+
+N threads mix queries with document loads/drops and update commits; the
+assertions pin down the thread-safety contract:
+
+* identical results single-threaded vs. 8-threaded on the XMark suite,
+* no stale or torn reads after ``DocumentStore.version`` bumps — every
+  observed value corresponds to a state that was actually committed,
+* the shared prepared-plan cache and the cross-query materialized subplan
+  cache never serve an artifact across a schema-version boundary,
+* ``PlanCacheStats`` accounting stays exact under concurrency (every
+  ``prepare()`` is exactly one hit or one miss), including while
+  ``clear_plan_cache()`` races against threads holding ``PreparedQuery``
+  objects.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import EngineOptions, MonetXQuery, XMLUpdater
+from repro.server import QueryServer
+from repro.xmark import all_queries
+
+from conftest import SMALL_XML
+
+
+THREADS = 8
+
+PERSON_NAME_QUERY = ('for $p in /site/people/person[@id = "person0"] '
+                     'return $p/name/text()')
+
+
+def run_threads(workers: list) -> list[BaseException]:
+    """Start callables on threads, join them, collect their exceptions."""
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def wrap(worker):
+        def run():
+            try:
+                worker()
+            except BaseException as exc:   # noqa: BLE001 - surfaced below
+                with lock:
+                    errors.append(exc)
+        return run
+
+    threads = [threading.Thread(target=wrap(worker)) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "worker thread deadlocked"
+    return errors
+
+
+# --------------------------------------------------------------------------- #
+# identical results: single-threaded vs. 8 threads on the XMark suite
+# --------------------------------------------------------------------------- #
+class TestXMarkParallelEquivalence:
+    def test_eight_threads_match_single_thread(self, xmark_text):
+        reference = MonetXQuery()
+        reference.load_document_text(xmark_text, name="auction.xml")
+        expected = {number: reference.query(text).serialize()
+                    for number, text in all_queries().items()}
+
+        with QueryServer(threads=THREADS) as server:
+            server.load_document_text(xmark_text, name="auction.xml")
+            futures = []
+            for _ in range(3):                     # repetitions hit the caches
+                for number, text in all_queries().items():
+                    futures.append((number, server.submit(text)))
+            for number, future in futures:
+                assert future.result().serialize() == expected[number], \
+                    f"XMark Q{number} diverged under concurrency"
+            stats = server.stats()
+            assert stats.queries_served == 3 * len(expected)
+            # repeated traffic must actually exercise both shared caches
+            assert stats.plan_cache.hits > 0
+            assert stats.subplan_cache.hits > 0
+
+
+# --------------------------------------------------------------------------- #
+# queries racing update commits: no stale, no torn reads
+# --------------------------------------------------------------------------- #
+class TestUpdatesUnderLoad:
+    def test_no_stale_results_after_version_bumps(self):
+        server = QueryServer(threads=THREADS)
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        engine = server.engine
+
+        commits = 12
+        committed: dict[int, str] = {engine.store.version: "Alice"}
+        committed_lock = threading.Lock()
+        stop = threading.Event()
+
+        def mutator():
+            try:
+                for index in range(commits):
+                    new_name = f"alice-v{index}"
+                    with server.update("auction.xml") as updater:
+                        [target] = updater.select(
+                            '/site/people/person[@id = "person0"]'
+                            '/name/text()')
+                        updater.replace_value(target, new_name)
+                    with committed_lock:
+                        committed[engine.store.version] = new_name
+            finally:
+                stop.set()
+
+        observations: list[tuple[int, str, int]] = []
+        observations_lock = threading.Lock()
+
+        def reader():
+            while not stop.is_set() or not observations:
+                version_before = engine.store.version
+                result = server.execute(PERSON_NAME_QUERY)
+                version_after = engine.store.version
+                assert len(result.items) == 1
+                with observations_lock:
+                    observations.append(
+                        (version_before, result.strings()[0], version_after))
+
+        errors = run_threads([mutator] + [reader] * (THREADS - 1))
+        assert not errors, errors
+
+        with committed_lock:
+            valid_names = set(committed.values())
+        for version_before, name, version_after in observations:
+            # every observed value was committed at some point: no torn mix
+            assert name in valid_names, f"torn/phantom value {name!r}"
+            # a query bracketed by one stable version must see exactly the
+            # state committed at that version: no stale cache serve
+            if version_before == version_after:
+                assert name == committed[version_before], (
+                    f"stale read: saw {name!r} at version {version_before}, "
+                    f"committed was {committed[version_before]!r}")
+
+        # after all threads joined, the final state must be visible
+        final = server.execute(PERSON_NAME_QUERY)
+        assert final.strings() == [f"alice-v{commits - 1}"]
+        server.close()
+
+    def test_load_drop_churn_does_not_disturb_other_documents(self):
+        server = QueryServer(threads=THREADS)
+        server.load_document_text(SMALL_XML, name="stable.xml")
+        expected = server.execute("count(//person)",
+                                  context="stable.xml").items
+        stop = threading.Event()
+
+        def churn():
+            try:
+                for index in range(20):
+                    name = f"extra-{index}.xml"
+                    server.load_document_text(f"<extra n=\"{index}\"/>", name,
+                                              default_context=False)
+                    server.drop_document(name)
+            finally:
+                stop.set()
+
+        def reader():
+            while not stop.is_set():
+                result = server.execute("count(//person)",
+                                        context="stable.xml")
+                assert result.items == expected
+
+        errors = run_threads([churn] + [reader] * (THREADS - 1))
+        assert not errors, errors
+        assert "stable.xml" in server.engine.store
+        assert server.engine.store.names() == ["stable.xml"]
+        server.close()
+
+
+# --------------------------------------------------------------------------- #
+# version boundaries: neither shared cache may serve across them
+# --------------------------------------------------------------------------- #
+class TestVersionBoundaries:
+    def test_plan_cache_never_serves_across_versions(self):
+        server = QueryServer(threads=2)
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        before = server.prepare(PERSON_NAME_QUERY)
+        with server.update("auction.xml") as updater:
+            [target] = updater.select(
+                '/site/people/person[@id = "person0"]/name/text()')
+            updater.replace_value(target, "Renamed")
+        after = server.prepare(PERSON_NAME_QUERY)
+        assert after is not before          # new version -> new cache slot
+        assert server.execute(PERSON_NAME_QUERY).strings() == ["Renamed"]
+        server.close()
+
+    def test_subplan_cache_never_serves_across_versions(self):
+        server = QueryServer(threads=2)
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        engine = server.engine
+        path_query = "/site/people/person"
+
+        assert len(server.execute(path_query)) == 3
+        version_before = engine.store.version
+        cached_keys = server.subplan_cache.keys()
+        assert cached_keys, "the absolute path must be materialized"
+        assert all(key[1] == version_before for key in cached_keys)
+
+        # structural update: the set of persons changes
+        with server.update("auction.xml") as updater:
+            [people] = updater.select("/site/people")
+            updater.insert_last(
+                people, '<person id="person9"><name>Zoe</name></person>')
+
+        assert engine.store.version > version_before
+        result = server.execute(path_query)
+        assert len(result) == 4, "subplan cache served a stale materialization"
+        # stale-version entries were reclaimed; live ones carry the new version
+        assert all(key[1] == engine.store.version
+                   for key in server.subplan_cache.keys())
+        server.close()
+
+    def test_user_function_predicates_are_never_cached_across_queries(self):
+        # regression: the structural fingerprint covers only a call site,
+        # not the function body — two queries declaring a same-named local
+        # function with different bodies must not share a cache slot
+        server = QueryServer(threads=2)
+        server.load_document_text(
+            "<a><b><c>1</c></b><b><c>2</c></b></a>", name="doc.xml")
+        first = server.execute(
+            'declare function local:f($x) { $x/c/text() = "1" };'
+            ' /a/b[local:f(.)]/c/text()')
+        second = server.execute(
+            'declare function local:f($x) { $x/c/text() = "2" };'
+            ' /a/b[local:f(.)]/c/text()')
+        assert first.strings() == ["1"]
+        assert second.strings() == ["2"], \
+            "subplan cache served a result across different function bodies"
+        server.close()
+
+    def test_nested_writers_inside_an_update_do_not_deadlock(self):
+        server = QueryServer(threads=2)
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        with server.update("auction.xml") as updater:
+            # a writer nested inside the update transaction must not
+            # self-deadlock on the server's mutation lock
+            server.load_document_text("<side/>", "side.xml",
+                                      default_context=False)
+            server.drop_document("side.xml")
+            [target] = updater.select(
+                '/site/people/person[@id = "person0"]/name/text()')
+            updater.replace_value(target, "Nested")
+        assert server.execute(PERSON_NAME_QUERY).strings() == ["Nested"]
+        server.close()
+
+    def test_subplan_cache_hits_within_a_version(self):
+        server = QueryServer(threads=2)
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        server.execute("count(/site/people/person)")
+        hits_before = server.subplan_cache.stats.hits
+        # a *different* query sharing the absolute path must hit the cache
+        server.execute("for $p in /site/people/person return $p/name/text()")
+        assert server.subplan_cache.stats.hits > hits_before
+        server.close()
+
+
+# --------------------------------------------------------------------------- #
+# PlanCacheStats accounting under the shared cache
+# --------------------------------------------------------------------------- #
+class TestPlanCacheStatsConcurrent:
+    QUERIES = [
+        "count(//person)",
+        "count(//item)",
+        "count(//increase)",
+        "/site/people/person/name/text()",
+        "for $p in /site/people/person return $p/@id",
+    ]
+
+    def _shared_engine(self, plan_cache_size: int = 64) -> MonetXQuery:
+        engine = MonetXQuery(plan_cache_size=plan_cache_size)
+        engine.load_document_text(SMALL_XML, name="auction.xml")
+        return engine
+
+    def test_every_prepare_is_exactly_one_hit_or_miss(self):
+        engine = self._shared_engine()
+        rounds = 40
+
+        def worker(offset: int):
+            def run():
+                for index in range(rounds):
+                    query = self.QUERIES[(index + offset) % len(self.QUERIES)]
+                    prepared = engine.prepare(query)
+                    assert prepared.text == query
+            return run
+
+        errors = run_threads([worker(offset) for offset in range(THREADS)])
+        assert not errors, errors
+        stats = engine.plan_cache_stats
+        assert stats.hits + stats.misses == THREADS * rounds
+        # every distinct text misses at least once; racing threads may
+        # compile the same text concurrently, so misses can exceed the
+        # distinct-query count but never the call count
+        assert len(self.QUERIES) <= stats.misses <= THREADS * rounds
+        assert stats.evictions == 0
+
+    def test_eviction_accounting_under_concurrency(self):
+        engine = self._shared_engine(plan_cache_size=2)
+        rounds = 30
+
+        def worker(offset: int):
+            def run():
+                for index in range(rounds):
+                    query = self.QUERIES[(index + offset) % len(self.QUERIES)]
+                    engine.prepare(query)
+            return run
+
+        errors = run_threads([worker(offset) for offset in range(4)])
+        assert not errors, errors
+        stats = engine.plan_cache_stats
+        assert stats.hits + stats.misses == 4 * rounds
+        assert stats.evictions > 0
+        assert len(engine._plan_cache) <= 2
+
+    def test_clear_plan_cache_while_another_thread_holds_a_prepared_query(self):
+        engine = self._shared_engine()
+        query = PERSON_NAME_QUERY
+        expected = engine.query(query).serialize()
+        stop = threading.Event()
+
+        def holder():
+            prepared = engine.prepare(query)     # held across cache clears
+            while not stop.is_set():
+                assert prepared.run().serialize() == expected
+
+        def clearer():
+            try:
+                for _ in range(50):
+                    engine.clear_plan_cache()
+                    fresh = engine.prepare(query)
+                    assert fresh.run().serialize() == expected
+            finally:
+                stop.set()
+
+        errors = run_threads([holder, holder, clearer])
+        assert not errors, errors
+        # cleared entries must re-register as misses, never phantom hits
+        stats = engine.plan_cache_stats
+        assert stats.misses >= 2
+        assert stats.hits + stats.misses >= 50

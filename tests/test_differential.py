@@ -1,0 +1,297 @@
+"""Differential harness: relational engine vs. tree-walking baseline.
+
+A seeded random generator produces FLWOR / path / predicate / aggregate
+queries over small XMark-shaped documents; every query is evaluated by the
+relational engine under
+
+* the default configuration,
+* every **single-switch** ablation of :class:`EngineOptions`, and
+* a seeded random sample of multi-switch combinations,
+
+and cross-checked against the conventional tree-walking interpreter
+(:mod:`repro.baselines.interpreter`), which shares the storage layer but
+none of the relational execution machinery.  The serialized result
+sequences must be identical — the optimizer switches may change *how* a
+query runs, never *what* it returns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import EngineOptions, MonetXQuery
+from repro.baselines.interpreter import run_baseline
+from repro.xml.serializer import serialize_sequence
+
+from conftest import SMALL_XML
+
+
+OPTION_NAMES = [f.name for f in dataclasses.fields(EngineOptions)]
+
+#: generator + sampling seeds are fixed so CI failures are reproducible
+GENERATOR_SEED = 20260728
+COMBINATION_SEED = 4242
+QUERY_COUNT = 14
+COMBINATION_COUNT = 6
+
+
+# --------------------------------------------------------------------------- #
+# the random query generator
+# --------------------------------------------------------------------------- #
+class QueryGenerator:
+    """Seeded random queries in the subset both engines implement.
+
+    The vocabulary is tied to the fixture document's shape (tags,
+    attributes, value ranges), so generated predicates are selective but
+    usually non-empty — empty-result queries are still produced and are
+    fine, they must simply agree across engines.
+    """
+
+    ABSOLUTE_PATHS = [
+        "/site/people/person",
+        "/site/open_auctions/open_auction",
+        "/site/closed_auctions/closed_auction",
+        "/site/regions/europe/item",
+        "/site/regions",
+        "//person",
+        "//item",
+        "/site//increase",
+        "//price",
+    ]
+    RELATIVE_PATHS = {
+        "/site/people/person": ["name/text()", "@id", "profile/@income",
+                                "profile/interest/@category", "name"],
+        "/site/open_auctions/open_auction":
+            ["@id", "initial/text()", "bidder/increase/text()",
+             "current/text()", "itemref/@item"],
+        "/site/closed_auctions/closed_auction":
+            ["price/text()", "buyer/@person", "itemref/@item"],
+        "/site/regions/europe/item": ["@id", "name/text()",
+                                      "description//text()"],
+        "/site/regions": ["europe/item/name/text()", "europe/item/@id"],
+        "//person": ["name/text()", "@id"],
+        "//item": ["name/text()", "@id"],
+        "/site//increase": ["text()"],
+        "//price": ["text()"],
+    }
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def query(self) -> str:
+        kind = self.rng.choice(["path", "path", "aggregate", "flwor",
+                                "flwor", "flwor_where", "flwor_where",
+                                "join", "quantified", "order_by"])
+        return getattr(self, f"_gen_{kind}")()
+
+    # -- building blocks ------------------------------------------------- #
+    def _abs_path(self) -> str:
+        return self.rng.choice(self.ABSOLUTE_PATHS)
+
+    def _rel_path(self, base: str) -> str:
+        return self.rng.choice(self.RELATIVE_PATHS[base])
+
+    def _predicate(self, base: str) -> str:
+        choices = [
+            "[1]", "[2]", "[last()]",
+            '[@id = "person0"]' if "person" in base else "[1]",
+            "[price/text() >= 40]" if "closed" in base else "[name]",
+        ]
+        return self.rng.choice(choices)
+
+    # -- query templates -------------------------------------------------- #
+    def _gen_path(self) -> str:
+        base = self._abs_path()
+        if self.rng.random() < 0.5:
+            return base + self._predicate(base)
+        return f"{base}/{self._rel_path(base)}"
+
+    def _gen_aggregate(self) -> str:
+        base = self._abs_path()
+        function = self.rng.choice(["count", "count", "exists", "empty"])
+        if function == "count" and self.rng.random() < 0.4:
+            return f"count({base}{self._predicate(base)})"
+        return f"{function}({base})"
+
+    def _gen_flwor(self) -> str:
+        base = self._abs_path()
+        returns = [
+            f"$x/{self._rel_path(base)}",
+            f"count($x/{self._rel_path(base)})",
+            f'<r v="{{$x/{self._rel_path(base)}}}"/>',
+            "<r>{ $x }</r>" if self.rng.random() < 0.2 else "$x",
+        ]
+        return (f"for $x in {base} "
+                f"return {self.rng.choice(returns)}")
+
+    def _gen_flwor_where(self) -> str:
+        base = self._abs_path()
+        conditions = {
+            "/site/people/person": [
+                '$x/@id = "person0"', '$x/profile/@income >= 40000',
+                'empty($x/profile)', 'exists($x/profile/interest)'],
+            "/site/open_auctions/open_auction": [
+                '$x/initial/text() >= 100', 'count($x/bidder) >= 2',
+                'exists($x/reserve)'],
+            "/site/closed_auctions/closed_auction": [
+                '$x/price/text() >= 40', '$x/buyer/@person = "person0"'],
+            "/site/regions/europe/item": [
+                'contains($x/name/text(), "gold")', 'exists($x/description)'],
+        }
+        condition_pool = conditions.get(base)
+        if condition_pool is None:
+            base = "/site/people/person"
+            condition_pool = conditions[base]
+        condition = self.rng.choice(condition_pool)
+        if self.rng.random() < 0.3:
+            condition += " and " + self.rng.choice(condition_pool)
+        return (f"for $x in {base} where {condition} "
+                f"return $x/{self._rel_path(base)}")
+
+    def _gen_join(self) -> str:
+        templates = [
+            # Q8 shape: buyer joined to person id
+            ("for $p in /site/people/person "
+             "let $a := for $t in /site/closed_auctions/closed_auction "
+             "where $t/buyer/@person = $p/@id return $t "
+             'return <n id="{$p/@id}">{ count($a) }</n>'),
+            # item reference join
+            ("for $i in /site/regions/europe/item "
+             "let $c := for $t in /site/closed_auctions/closed_auction "
+             "where $t/itemref/@item = $i/@id return $t "
+             "return count($c)"),
+            # value join in the where clause directly
+            ("for $p in /site/people/person "
+             "for $t in /site/closed_auctions/closed_auction "
+             'where $t/buyer/@person = $p/@id '
+             "return $t/price/text()"),
+            # inequality join (existential aggregates path)
+            ("for $p in /site/people/person "
+             "let $l := for $i in /site/open_auctions/open_auction/initial "
+             "where $p/profile/@income > 5 * $i/text() return $i "
+             "return count($l)"),
+        ]
+        return self.rng.choice(templates)
+
+    def _gen_quantified(self) -> str:
+        templates = [
+            ("for $a in /site/open_auctions/open_auction "
+             "where some $b in $a/bidder satisfies $b/increase/text() >= 5 "
+             "return $a/@id"),
+            ("for $p in /site/people/person "
+             "where every $i in $p/profile/interest "
+             'satisfies exists($i/@category) '
+             "return $p/name/text()"),
+            ("count(for $a in /site/closed_auctions/closed_auction "
+             "where some $r in $a/itemref satisfies $r/@item = \"item0\" "
+             "return $a)"),
+        ]
+        return self.rng.choice(templates)
+
+    def _gen_order_by(self) -> str:
+        base = self.rng.choice(["/site/people/person",
+                                "/site/closed_auctions/closed_auction",
+                                "/site/regions/europe/item"])
+        keys = {
+            "/site/people/person": "$x/name/text()",
+            "/site/closed_auctions/closed_auction": "$x/price/text()",
+            "/site/regions/europe/item": "$x/name/text()",
+        }
+        direction = self.rng.choice(["ascending", "descending"])
+        return (f"for $x in {base} order by {keys[base]} {direction} "
+                f"return $x/{self._rel_path(base)}")
+
+
+def generated_queries() -> list[str]:
+    generator = QueryGenerator(GENERATOR_SEED)
+    queries: list[str] = []
+    seen: set[str] = set()
+    while len(queries) < QUERY_COUNT:
+        query = generator.query()
+        if query not in seen:
+            seen.add(query)
+            queries.append(query)
+    return queries
+
+
+def option_configurations() -> list[tuple[str, EngineOptions]]:
+    """Default + every single-switch ablation + sampled combinations."""
+    configurations: list[tuple[str, EngineOptions]] = [
+        ("default", EngineOptions())]
+    for name in OPTION_NAMES:
+        configurations.append(
+            (f"no-{name}", EngineOptions(**{name: False})))
+    rng = random.Random(COMBINATION_SEED)
+    for index in range(COMBINATION_COUNT):
+        flipped = rng.sample(OPTION_NAMES, rng.randint(2, len(OPTION_NAMES)))
+        configurations.append(
+            (f"combo-{index}", EngineOptions(**{name: False
+                                                for name in flipped})))
+    configurations.append(
+        ("all-off", EngineOptions(**{name: False for name in OPTION_NAMES})))
+    return configurations
+
+
+# --------------------------------------------------------------------------- #
+# the cross-check
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def differential_engine() -> MonetXQuery:
+    engine = MonetXQuery()
+    engine.load_document_text(SMALL_XML, name="auction.xml")
+    return engine
+
+
+@pytest.fixture(scope="module")
+def baseline_results(differential_engine) -> dict[str, str]:
+    """The oracle: every generated query run once by the interpreter."""
+    oracle: dict[str, str] = {}
+    for query in generated_queries():
+        items = run_baseline(differential_engine.store, query, "auction.xml")
+        oracle[query] = serialize_sequence(items)
+    return oracle
+
+
+@pytest.mark.parametrize("config_name,options", option_configurations(),
+                         ids=[name for name, _ in option_configurations()])
+def test_differential_against_baseline(differential_engine, baseline_results,
+                                       config_name, options):
+    for query in generated_queries():
+        result = differential_engine.query(query, options=options)
+        assert result.serialize() == baseline_results[query], (
+            f"configuration {config_name!r} diverged from the baseline "
+            f"interpreter on:\n{query}")
+
+
+def test_generator_is_deterministic():
+    assert generated_queries() == generated_queries()
+    assert len(generated_queries()) == QUERY_COUNT
+
+
+def test_generator_covers_the_query_families():
+    queries = "\n".join(generated_queries())
+    assert "for $" in queries
+    assert "where" in queries
+    assert "count(" in queries
+    assert "order by" in queries
+
+
+def test_differential_with_subplan_cache(differential_engine,
+                                         baseline_results):
+    """The cross-query materialized subplan cache must be invisible in the
+    results: run the whole generated suite twice through one server (the
+    second pass is served largely from the cache) and compare each result
+    against the oracle."""
+    from repro.server import QueryServer
+
+    with QueryServer(threads=2) as server:
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        for _ in range(2):
+            for query in generated_queries():
+                result = server.execute(query)
+                assert result.serialize() == baseline_results[query], query
+        stats = server.stats()
+        assert stats.subplan_cache.hits > 0
