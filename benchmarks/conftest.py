@@ -5,11 +5,21 @@ absolute times are meaningless for a pure-Python engine, the *shapes*
 (relative speedups, linear vs. quadratic growth, who wins) are what each
 benchmark regenerates.  Scale factors can be raised via the environment
 variable ``REPRO_BENCH_SCALE`` for longer runs.
+
+Every benchmark module additionally emits a machine-readable
+``benchmarks/results/BENCH_<module>.json`` artifact at session end (one
+record per pytest-benchmark measurement, plus whatever a module writes
+itself through :func:`write_bench_json`), so the perf trajectory of the
+engine is recorded run over run and can be archived by CI.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -19,6 +29,55 @@ from repro.xmark import generate_document
 
 BASE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
 SEED = 42
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one ``BENCH_<name>.json`` artifact under ``benchmarks/results``.
+
+    The envelope records scale factor, python version and timestamp so
+    artifacts from different runs/machines remain comparable.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "scale": BASE_SCALE,
+        "python": platform.python_version(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump every pytest-benchmark measurement grouped per bench module."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    per_module: dict[str, list[dict]] = {}
+    for bench in getattr(bench_session, "benchmarks", ()):
+        try:
+            module = Path(bench.fullname.split("::", 1)[0]).stem
+            module = module.removeprefix("bench_")
+            stats = bench.stats.stats if hasattr(bench.stats, "stats") \
+                else bench.stats
+            entry = {
+                "name": bench.name,
+                "group": bench.group,
+                "mean_s": getattr(stats, "mean", None),
+                "stddev_s": getattr(stats, "stddev", None),
+                "min_s": getattr(stats, "min", None),
+                "rounds": getattr(stats, "rounds", None),
+                "extra_info": dict(getattr(bench, "extra_info", {}) or {}),
+            }
+        except Exception:       # pragma: no cover - defensive vs. plugin API
+            continue
+        per_module.setdefault(module, []).append(entry)
+    for module, entries in per_module.items():
+        write_bench_json(module, {"benchmarks": entries})
 
 
 def build_engine(scale: float, options: EngineOptions | None = None) -> MonetXQuery:

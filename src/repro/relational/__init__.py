@@ -16,7 +16,7 @@ The subpackage provides:
 """
 
 from .cardinality import CardinalityEstimator, StoreStatistics
-from .column import Column
+from .column import Column, DenseColumn, IntColumn, make_column, values_equal
 from .explain import Trace, capture
 from .plan import PlanBuilder, PlanNode, count_references, render_plan
 from .properties import ColumnProps, GroupOrder, TableProps
@@ -28,6 +28,10 @@ __all__ = [
     "CardinalityEstimator",
     "Column",
     "ColumnProps",
+    "DenseColumn",
+    "IntColumn",
+    "make_column",
+    "values_equal",
     "GroupOrder",
     "OptimizedModulePlan",
     "PlanBuilder",

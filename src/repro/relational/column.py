@@ -3,17 +3,51 @@
 MonetDB stores every attribute as a Binary Association Table (BAT) whose
 head is a dense, void (virtual) object identifier and whose tail is the
 attribute value.  Because the head is always dense, a BAT degenerates to a
-plain array.  We mirror that: a :class:`Column` is a plain Python list of
-values plus the :class:`~repro.relational.properties.ColumnProps` the
-peephole optimizer tracks.
+plain array.  We mirror that with a small representation lattice:
+
+``Column`` (rep ``list``)
+    the polymorphic fallback: a plain Python list of mixed values — the
+    paper's ``item`` column (integers, strings, booleans, node surrogates).
+``IntColumn`` (rep ``i64``)
+    a typed column backed by ``array('q')`` (64-bit signed integers) — node
+    surrogates by pre rank, ``iter``, ``pos``, structural ``size``/``level``
+    columns.  Kernels over these columns avoid per-value boxing checks and
+    use the C-speed ``array`` primitives (``index``, slicing, ``min``/``max``).
+``DenseColumn`` (rep ``dense``)
+    a *virtual* void column: ``base, base+1, ...`` represented by a
+    ``range`` object — nothing is materialised.  Positional selection on a
+    contiguous window stays virtual; everything else degrades to ``i64``.
+
+All three share the :class:`Column` API (``values`` is always a sequence:
+``list``, ``array`` or ``range``), so operators can dispatch on the
+representation (:attr:`Column.rep`) but never have to.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Iterable, Iterator, Sequence
 
 from ..errors import ColumnTypeError
 from .properties import ColumnProps, infer_column_props
+
+
+def values_equal(left: Sequence[Any], right: Sequence[Any]) -> bool:
+    """Representation-independent sequence equality.
+
+    ``array('q', [1, 2]) == [1, 2]`` is ``False`` in Python; column equality
+    must not depend on whether a column happens to be typed, dense or a
+    plain list, so mixed-representation comparisons fall back to an
+    element-wise check (with the usual numeric cross-type semantics:
+    ``1 == True == 1.0``).
+    """
+    if left is right:
+        return True
+    if type(left) is type(right):
+        return left == right
+    if len(left) != len(right):
+        return False
+    return all(a == b for a, b in zip(left, right))
 
 
 class Column:
@@ -27,6 +61,9 @@ class Column:
     """
 
     __slots__ = ("name", "values", "props")
+
+    #: representation tag used for kernel dispatch and ``explain`` output
+    rep = "list"
 
     def __init__(self, name: str, values: Sequence[Any] | None = None, *,
                  props: ColumnProps | None = None, infer: bool = False):
@@ -54,22 +91,26 @@ class Column:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Column):
             return NotImplemented
-        return self.name == other.name and self.values == other.values
+        return self.name == other.name and values_equal(self.values, other.values)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         preview = ", ".join(repr(v) for v in self.values[:6])
         if len(self.values) > 6:
             preview += ", ..."
-        return f"Column({self.name!r}, [{preview}], props={self.props.describe()})"
+        return (f"{type(self).__name__}({self.name!r}, [{preview}], "
+                f"props={self.props.describe()})")
+
+    def tolist(self) -> list[Any]:
+        """The values as a plain list (copies for typed representations)."""
+        return list(self.values)
 
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def dense(cls, name: str, count: int, base: int = 0) -> "Column":
-        """Create a dense sequence column ``base, base+1, ..``."""
-        props = ColumnProps(dense=True, dense_base=base, key=True)
-        return cls(name, list(range(base, base + count)), props=props)
+    def dense(cls, name: str, count: int, base: int = 0) -> "DenseColumn":
+        """Create a dense (virtual, void-head) sequence column ``base, base+1, ..``."""
+        return DenseColumn(name, count, base=base)
 
     @classmethod
     def constant(cls, name: str, value: Any, count: int) -> "Column":
@@ -84,6 +125,13 @@ class Column:
         """Return a copy of the column under a different name."""
         return Column(name, self.values, props=self.props.copy())
 
+    def _take_props(self) -> ColumnProps:
+        props = ColumnProps()
+        if self.props.const:
+            props.const = True
+            props.const_value = self.props.const_value
+        return props
+
     def take(self, positions: Iterable[int]) -> "Column":
         """Positional selection: new column with ``values[p] for p in positions``.
 
@@ -97,11 +145,7 @@ class Column:
         except IndexError as exc:
             raise ColumnTypeError(
                 f"positional lookup out of range on column {self.name!r}") from exc
-        props = ColumnProps()
-        if self.props.const:
-            props.const = True
-            props.const_value = self.props.const_value
-        return Column(self.name, picked, props=props)
+        return Column(self.name, picked, props=self._take_props())
 
     def append_column(self, other: "Column") -> None:
         """Destructively append the values of ``other`` (same name required)."""
@@ -115,3 +159,163 @@ class Column:
         """Re-infer the properties from the current values."""
         self.props = infer_column_props(self.values)
         return self.props
+
+
+class IntColumn(Column):
+    """A typed 64-bit integer column backed by ``array('q')``.
+
+    The workhorse representation for ``iter``/``pos`` columns, node pre
+    ranks and the structural document encoding.  Construction from an
+    existing ``array('q')`` adopts it without copying (operators never
+    mutate an input column, so sharing is safe); any other iterable is
+    converted.
+    """
+
+    __slots__ = ()
+
+    rep = "i64"
+
+    def __init__(self, name: str, values: Iterable[int] | None = None, *,
+                 props: ColumnProps | None = None, infer: bool = False):
+        self.name = name
+        if isinstance(values, array) and values.typecode == "q":
+            self.values = values
+        else:
+            self.values = array("q", values if values is not None else ())
+        if props is not None:
+            self.props = props
+        elif infer:
+            self.props = infer_column_props(self.values)
+        else:
+            self.props = ColumnProps()
+
+    def renamed(self, name: str) -> "IntColumn":
+        # adoption constructor: the array is shared, not copied
+        return IntColumn(name, self.values, props=self.props.copy())
+
+    def take(self, positions: Iterable[int]) -> "IntColumn":
+        values = self.values
+        if isinstance(positions, range) and positions.step == 1 \
+                and (len(positions) == 0
+                     or (positions.start >= 0 and positions.stop <= len(values))):
+            # contiguous window: one C-level slice instead of a Python loop
+            picked = values[positions.start:positions.stop]
+        else:
+            try:
+                picked = array("q", (values[p] for p in positions))
+            except IndexError as exc:
+                raise ColumnTypeError(
+                    f"positional lookup out of range on column "
+                    f"{self.name!r}") from exc
+        return IntColumn(self.name, picked, props=self._take_props())
+
+    def append_column(self, other: "Column") -> None:
+        if other.name != self.name:
+            raise ColumnTypeError(
+                f"cannot append column {other.name!r} to column {self.name!r}")
+        length_before = len(self.values)
+        try:
+            self.values.extend(other.values)
+        except TypeError as exc:
+            # array.extend may have appended a prefix before failing —
+            # roll it back so the column is untouched on error
+            del self.values[length_before:]
+            raise ColumnTypeError(
+                f"cannot append non-integer values to typed column "
+                f"{self.name!r}") from exc
+        self.props = ColumnProps()
+
+
+class DenseColumn(Column):
+    """A virtual void-head column: ``base, base+1, ...`` with no storage.
+
+    ``values`` is a ``range`` object, so every read path (iteration,
+    indexing, ``len``, membership) works like any other column while taking
+    O(1) memory.  Positional selection of a contiguous window yields another
+    :class:`DenseColumn`; arbitrary selections materialise an
+    :class:`IntColumn` by offset arithmetic.
+    """
+
+    __slots__ = ()
+
+    rep = "dense"
+
+    def __init__(self, name: str, count: int, base: int = 0, *,
+                 props: ColumnProps | None = None):
+        self.name = name
+        self.values = range(base, base + count)
+        if props is not None:
+            self.props = props
+        else:
+            self.props = ColumnProps(dense=True, dense_base=base, key=True)
+
+    @property
+    def base(self) -> int:
+        return self.values.start
+
+    def renamed(self, name: str) -> "DenseColumn":
+        return DenseColumn(name, len(self.values), base=self.values.start,
+                           props=self.props.copy())
+
+    def take(self, positions: Iterable[int]) -> "Column":
+        values = self.values
+        if isinstance(positions, range) and positions.step == 1:
+            if len(positions) == 0:
+                return DenseColumn(self.name, 0, base=values.start)
+            if positions.start >= 0 and positions.stop <= len(values):
+                # a window of a dense column stays virtual
+                return DenseColumn(self.name, len(positions),
+                                   base=values.start + positions.start)
+        try:
+            picked = array("q", (values[p] for p in positions))
+        except IndexError as exc:
+            raise ColumnTypeError(
+                f"positional lookup out of range on column {self.name!r}") from exc
+        return IntColumn(self.name, picked)
+
+    def append_column(self, other: "Column") -> None:
+        raise ColumnTypeError(
+            f"dense column {self.name!r} is virtual; materialise before "
+            "appending")
+
+
+def int_column_values(column: Column) -> "array | range | None":
+    """The typed backing sequence of a column, or ``None`` for list columns.
+
+    Kernels use this to decide whether the integer fast path applies:
+    ``array('q')`` and ``range`` values are guaranteed all-int with no
+    boxing surprises (no ``bool``, no ``float``).
+    """
+    values = column.values
+    if isinstance(values, array) and values.typecode == "q":
+        return values
+    if isinstance(values, range):
+        return values
+    return None
+
+
+def concat_values(parts: Sequence[Sequence[Any]]) -> "list | array":
+    """Concatenate value sequences, keeping the typed representation when
+    every part is typed (``array('q')`` or ``range``)."""
+    if parts and all(isinstance(part, (array, range)) for part in parts):
+        merged_array = array("q")
+        for part in parts:
+            merged_array.extend(part)
+        return merged_array
+    merged: list[Any] = []
+    for part in parts:
+        merged.extend(part)
+    return merged
+
+
+def make_column(name: str, values: Sequence[Any], *,
+                props: ColumnProps | None = None) -> Column:
+    """Build a column choosing the representation from the value sequence."""
+    if isinstance(values, range):
+        column = DenseColumn(name, len(values), base=values.start)
+        if props is not None:
+            column.props = props
+        return column
+    if isinstance(values, array) and values.typecode == "q":
+        return IntColumn(name, values, props=props)
+    return Column(name, values, props=props)

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import math
 import operator as _py_operator
+from array import array
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import RelationalError, SchemaError
 from . import explain
-from .column import Column
+from .column import (Column, DenseColumn, concat_values, int_column_values,
+                     make_column)
 from .positional import positional_join_positions
 from .properties import ColumnProps, GroupOrder, TableProps
 from .sorting import refine_sort, sort, total_order_key
@@ -141,6 +143,39 @@ def select_eq(table: Table, column: str, value: Any, *,
         explain.record("select", "select.positional", table.row_count, 0,
                        detail=f"{column}={value}")
         return table.take([], keep_order=True)
+    typed = int_column_values(col)
+    if typed is not None:
+        # typed kernel: scan the raw 64-bit buffer with the memchr-backed
+        # bytes.find primitive instead of a per-row comparison loop (the
+        # misaligned-hit check rejects byte patterns straddling two
+        # values).  Integer cross-type equality (True == 1 == 1.0) is
+        # preserved by probing with the integral representative;
+        # non-integral probes cannot match an all-int column.
+        probe: int | None = None
+        if isinstance(value, bool):
+            probe = int(value)
+        elif isinstance(value, int):
+            probe = value
+        elif isinstance(value, float) and value.is_integer():
+            probe = int(value)
+        positions = array("q")
+        if probe is not None:
+            if isinstance(typed, range):
+                if probe in typed:
+                    positions.append(typed.index(probe))
+            elif -(2 ** 63) <= probe < 2 ** 63:
+                buffer = typed.tobytes()
+                needle = array("q", (probe,)).tobytes()
+                offset = buffer.find(needle)
+                while offset != -1:
+                    if offset % 8 == 0:
+                        positions.append(offset // 8)
+                        offset = buffer.find(needle, offset + 8)
+                    else:
+                        offset = buffer.find(needle, offset + 1)
+        explain.record("select", "select.int-scan", table.row_count,
+                       len(positions), detail=f"{column}={value}")
+        return table.take(positions, keep_order=True)
     positions = [index for index, item in enumerate(col.values) if item == value]
     explain.record("select", "select.scan", table.row_count, len(positions),
                    detail=f"{column}={value}")
@@ -384,10 +419,10 @@ def union_all(tables: Sequence[Table]) -> Table:
                 f"union_all schema mismatch: {table.column_names} vs {names}")
     columns = []
     for name in names:
-        merged = Column(name, [])
-        for table in tables:
-            merged.values.extend(table.col(name))
-        columns.append(merged)
+        # the merge stays typed (one array('q') concat) when every input
+        # column is typed; any list input degrades the result to a list
+        merged_values = concat_values([table.col(name) for table in tables])
+        columns.append(make_column(name, merged_values))
     rows_in = sum(table.row_count for table in tables)
     explain.record("union", "union.append", rows_in, rows_in)
     return Table(columns)
@@ -466,6 +501,16 @@ def rownum(table: Table, name: str, order_by: Sequence[str], *,
             streaming_ok = table.props.ordered_on(order_by)
         else:
             streaming_ok = table.props.group_ordered_on(order_by, partition)
+
+    if streaming_ok and partition is None:
+        # single partition numbered in physical order: the result is by
+        # definition base, base+1, ... — emit a virtual dense column
+        # without touching a single row
+        explain.record("rownum", "rownum.streaming", row_count, row_count,
+                       detail=f"{name}:<{','.join(order_by)}>/- (dense)")
+        column = DenseColumn(name, row_count, base=base)
+        columns = list(table.columns.values()) + [column]
+        return Table(columns, props=table.props.copy())
 
     values: list[int] = [0] * row_count
     if streaming_ok:

@@ -11,6 +11,7 @@ whenever the key column's ``dense`` property holds.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Iterable, Sequence
 
 from ..errors import RelationalError
@@ -18,14 +19,38 @@ from .table import Table
 
 
 def positional_positions(key_values: Iterable[Any], base: int,
-                         size: int) -> list[int] | None:
+                         size: int) -> Sequence[int] | None:
     """Translate dense-key values into row positions.
 
     Returns ``None`` when any probe value is not an integer or falls outside
     the stored range — the caller then falls back to a hash join (this is the
     "join hit rate of 1" assumption of the paper: misses mean the dense-key
     assumption was wrong and the generic algorithm must be used).
+
+    Typed probes take the vectorized path: an ``array('q')`` (or virtual
+    ``range``) probe is validated with two C-level ``min``/``max`` calls and
+    translated by offset arithmetic — with ``base == 0`` the probe sequence
+    *is* the position sequence and no copy is made at all.
     """
+    if isinstance(key_values, range):
+        if len(key_values) == 0:
+            return key_values
+        low = min(key_values.start, key_values[-1])
+        high = max(key_values.start, key_values[-1])
+        if low - base < 0 or high - base >= size:
+            return None
+        if base == 0:
+            return key_values
+        return range(key_values.start - base, key_values.stop - base,
+                     key_values.step)
+    if isinstance(key_values, array) and key_values.typecode == "q":
+        if len(key_values) == 0:
+            return key_values
+        if min(key_values) - base < 0 or max(key_values) - base >= size:
+            return None
+        if base == 0:
+            return key_values
+        return array("q", (value - base for value in key_values))
     positions: list[int] = []
     for value in key_values:
         if not isinstance(value, int) or isinstance(value, bool):
@@ -52,7 +77,7 @@ def positional_select(table: Table, key_column: str, value: Any) -> Table:
 
 
 def positional_join_positions(probe_values: Sequence[Any], build: Table,
-                              build_key: str) -> list[int] | None:
+                              build_key: str) -> Sequence[int] | None:
     """Positions into ``build`` for every probe value, or ``None`` on a miss.
 
     The probe side keeps its order; because every dense key value matches

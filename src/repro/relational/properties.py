@@ -132,6 +132,13 @@ def is_dense_sequence(values: Iterable[int]) -> tuple[bool, int]:
     Returns ``(True, base)`` when the values are ``base, base+1, ...`` and
     ``(False, 0)`` otherwise.  An empty sequence counts as dense with base 0.
     """
+    if isinstance(values, range):
+        # virtual dense columns answer without a scan
+        if len(values) == 0:
+            return True, 0
+        if values.step == 1:
+            return True, values.start
+        return (True, values.start) if len(values) == 1 else (False, 0)
     base = 0
     expected = _MISSING
     for value in values:
@@ -155,7 +162,7 @@ def infer_column_props(values: Sequence[Any]) -> ColumnProps:
     derived through operators that propagate properties analytically.
     """
     props = ColumnProps()
-    if not values:
+    if not len(values):
         props.dense = True
         props.key = True
         props.const = False

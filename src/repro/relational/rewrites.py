@@ -277,6 +277,10 @@ class OptimizedModulePlan:
     #: cross-query subplan cache, keyed additionally on the document-store
     #: schema version and the context root)
     cache_keys: dict[int, str] = field(default_factory=dict)
+    #: whether the executor runs the typed columnar kernels (the
+    #: ``typed_columns`` ablation at optimize time); governs the
+    #: representation annotations of :meth:`render`
+    typed_columns: bool = True
 
     def required_columns(self, node: PlanNode) -> frozenset[str]:
         return self.cols.get(node.id, FULL_COLUMNS)
@@ -308,6 +312,13 @@ class OptimizedModulePlan:
                     "cols=[" + ",".join(
                         name for name in ("iter", "pos", "item")
                         if name in required) + "]")
+            if self.typed_columns and node.kind == "step" \
+                    and required is not None and "item" not in required:
+                # the executor's chosen representation: a typed int iter
+                # column with no node surrogates materialised at all
+                notes.append("rep=i64[iter-only, item-pruned]")
+            elif self.typed_columns and node.kind == "step":
+                notes.append("rep=i64[iter,pos]+item")
             if node.id in self.shared:
                 notes.append("(shared)")
             if node.id in self.cache_keys:
@@ -362,6 +373,7 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
     projection_pushdown = getattr(options, "projection_pushdown", True)
     subplan_sharing = getattr(options, "subplan_sharing", True)
     cross_query_caching = getattr(options, "cross_query_caching", True)
+    typed_columns = getattr(options, "typed_columns", True)
 
     report = RewriteReport()
     free = FreeVariables(module_plan.functions)
@@ -407,6 +419,16 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
         if pruned:
             report.fire("projection-pushdown",
                         f"{pruned} operators need no pos column")
+        if typed_columns:
+            item_pruned = sum(
+                1 for root in roots for node in root.walk()
+                if node.kind == "step"
+                and node.id in cols and "item" not in cols[node.id])
+            if item_pruned:
+                report.fire(
+                    "item-pruning",
+                    f"{item_pruned} location steps materialize no item "
+                    "column (pure-cardinality consumers)")
 
     # 3. common-subplan sharing (mark hash-consed nodes safe to memoise)
     purity = _PurityAnalysis(functions)
@@ -438,7 +460,8 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
                                functions=functions, cols=cols,
                                shared=shared, impure=impure, free=free,
                                report=report, join_estimates=join_estimates,
-                               cache_keys=cache_keys)
+                               cache_keys=cache_keys,
+                               typed_columns=typed_columns)
 
 
 # --------------------------------------------------------------------------- #
@@ -893,7 +916,14 @@ def _child_requirements(node: PlanNode, req: frozenset[str],
         condition, then_branch, else_branch = children
         return [(condition, NO_POS), (then_branch, req), (else_branch, req)]
     if kind == "seq":
-        child_req = FULL_COLUMNS if "pos" in req else NO_POS
+        if "pos" in req:
+            child_req = FULL_COLUMNS
+        elif "item" in req:
+            child_req = NO_POS
+        else:
+            # pure-cardinality consumer: concatenation preserves the
+            # per-iteration row counts, so the branches need no items either
+            child_req = ITER_ONLY
         return [(child, child_req) for child in children]
     if kind == "flwor":
         nclauses = node.p("nclauses")
@@ -917,8 +947,12 @@ def _child_requirements(node: PlanNode, req: frozenset[str],
         return_child = children[-1]
         if norder > 0 or "pos" in req:
             out.append((return_child, FULL_COLUMNS))
-        else:
+        elif "item" in req:
             out.append((return_child, NO_POS))
+        else:
+            # the back-mapping join consumes only iteration numbers; under
+            # a pure-cardinality consumer the returned items are dead too
+            out.append((return_child, ITER_ONLY))
         return out
     if kind == "quantified":
         return [(child, NO_POS) for child in children]

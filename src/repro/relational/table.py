@@ -85,8 +85,14 @@ class Table:
             raise SchemaError(
                 f"unknown column {name!r}; table has {list(self.columns)}") from None
 
-    def col(self, name: str) -> list[Any]:
-        """Shorthand for the raw value list of a column."""
+    def col(self, name: str) -> Sequence[Any]:
+        """Shorthand for the raw value sequence of a column.
+
+        The representation depends on the column: a plain ``list`` for
+        polymorphic columns, ``array('q')`` for typed integer columns, a
+        virtual ``range`` for dense columns.  All support ``len``,
+        indexing, slicing and iteration uniformly.
+        """
         return self.column(name).values
 
     def rows(self, names: Sequence[str] | None = None) -> Iterator[tuple[Any, ...]]:
@@ -162,5 +168,5 @@ class Table:
         """Human readable schema + properties summary (for ``explain``)."""
         pieces = []
         for name, column in self.columns.items():
-            pieces.append(f"{name}[{column.props.describe()}]")
+            pieces.append(f"{name}:{column.rep}[{column.props.describe()}]")
         return f"({', '.join(pieces)}) rows={self.row_count} {self.props.describe()}"

@@ -33,20 +33,29 @@ from typing import Any, Sequence
 
 @dataclass
 class SubplanCacheStats:
-    """Hit/miss/eviction/invalidation counters (mutated under the cache lock)."""
+    """Hit/miss/eviction/invalidation counters (mutated under the cache lock).
+
+    ``rejected`` counts materialisations the admission policy declined to
+    store; ``admission_threshold`` mirrors the cache's configured policy
+    threshold (it is configuration, not a counter — ``clear()`` keeps it).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    rejected: int = 0
+    admission_threshold: int = 0
 
     def clear(self) -> None:
         self.hits = self.misses = self.evictions = self.invalidations = 0
+        self.rejected = 0
 
     def snapshot(self) -> "SubplanCacheStats":
         """An independent copy (for reporting from another thread)."""
         return SubplanCacheStats(self.hits, self.misses,
-                                 self.evictions, self.invalidations)
+                                 self.evictions, self.invalidations,
+                                 self.rejected, self.admission_threshold)
 
 
 class SubplanCache:
@@ -59,17 +68,31 @@ class SubplanCache:
     executor computes misses *outside* the lock, so two threads may race
     to materialize the same subplan — the first insert wins and later ones
     adopt the already-cached tuple (stable identity, identical content).
+
+    **Admission policy**: not every absolute path is worth materializing —
+    tiny results (``/site``: one row) cost a cache slot, an LRU update and
+    a key probe per execution while re-computing them is almost free.  A
+    candidate is admitted only when ``rows × observed repeat count`` reaches
+    ``admission_threshold`` (rows are *actual* materialised rows, repeats
+    are the misses observed for that key so far).  A large result is
+    admitted on first sight; a one-row path earns its slot only once it
+    proves hot.  ``admission_threshold=0`` admits everything (the legacy
+    behaviour); rejected materialisations are counted in
+    ``stats.rejected``.
     """
 
     #: index of the schema-version component inside keys from make_key()
     _VERSION_SLOT = 1
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, *, admission_threshold: int = 2):
         self.capacity = capacity
-        self.stats = SubplanCacheStats()
+        self.admission_threshold = admission_threshold
+        self.stats = SubplanCacheStats(admission_threshold=admission_threshold)
         self._lock = threading.Lock()
         # key -> (items, pinned container)
         self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # key -> number of lookup misses observed (bounded LRU)
+        self._observations: "OrderedDict[tuple, int]" = OrderedDict()
 
     @staticmethod
     def make_key(fingerprint: str, version: int, container: Any,
@@ -78,11 +101,19 @@ class SubplanCache:
         return (fingerprint, version, id(container), root_pre)
 
     def lookup(self, key: tuple) -> tuple | None:
-        """The cached item tuple, or ``None`` (counted as a miss)."""
+        """The cached item tuple, or ``None`` (counted as a miss).
+
+        Every miss counts as one *observation* of the key — the repeat
+        count the admission policy multiplies the result size with.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                count = self._observations.pop(key, 0) + 1
+                self._observations[key] = count        # move-to-end refresh
+                while len(self._observations) > 4 * max(self.capacity, 1):
+                    self._observations.popitem(last=False)
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
@@ -92,9 +123,12 @@ class SubplanCache:
                pin: Any = None) -> tuple:
         """Store a materialised result; returns the canonical item tuple.
 
-        ``pin`` keeps the source document container alive for the lifetime
-        of the entry.  If another thread inserted the same key first, its
-        tuple is returned instead so all consumers share one object.
+        The admission policy applies here: with ``rows × repeats`` below
+        the threshold the materialisation is returned to the caller but
+        not stored (``stats.rejected``).  ``pin`` keeps the source
+        document container alive for the lifetime of the entry.  If
+        another thread inserted the same key first, its tuple is returned
+        instead so all consumers share one object.
         """
         materialized = tuple(items)
         if self.capacity <= 0:
@@ -104,7 +138,14 @@ class SubplanCache:
             if existing is not None:
                 self._entries.move_to_end(key)
                 return existing[0]
+            repeats = self._observations.get(key, 1)
+            # empty results still cost a document scan to recompute: they
+            # follow the same hotness rule as one-row results
+            if max(len(materialized), 1) * repeats < self.admission_threshold:
+                self.stats.rejected += 1
+                return materialized
             self._entries[key] = (materialized, pin)
+            self._observations.pop(key, None)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1

@@ -18,6 +18,7 @@ touched so the ``|result| + |context|`` bound of the paper can be verified
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from ..errors import StaircaseJoinError
@@ -124,9 +125,11 @@ def _descendant(container: DocumentContainer, context: list[int],
         if or_self:
             results.append(pre)
         end = pre + container.size[pre]
-        for node in range(pre + 1, end + 1):
-            stats.touch()
-            results.append(node)
+        # after pruning every partition is one contiguous pre window:
+        # append it with a single C-level extend instead of a node loop
+        span = range(pre + 1, end + 1)
+        stats.touch(len(span))
+        results.extend(span)
         # skipping: everything between `end` and the next context node is
         # never touched
     return results
@@ -254,6 +257,19 @@ _AXIS_HANDLERS = {
     Axis.FOLLOWING_SIBLING: _following_sibling,
     Axis.PRECEDING_SIBLING: _preceding_sibling,
 }
+
+
+def staircase_join_arrays(container: DocumentContainer, context: list[int],
+                          axis: Axis, node_test: NodeTest | None = None, *,
+                          stats: StaircaseStats | None = None) -> array:
+    """:func:`staircase_join` with a typed ``array('q')`` result column.
+
+    The iterative executor and the typed step assembly consume pre ranks as
+    an int array so per-iteration results enter the relational layer
+    without boxing into tuple lists.
+    """
+    return array("q", staircase_join(container, context, axis, node_test,
+                                     stats=stats))
 
 
 # --------------------------------------------------------------------------- #

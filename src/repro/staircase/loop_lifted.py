@@ -25,6 +25,7 @@ the plain staircase join once per iteration — see
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from ..errors import StaircaseJoinError
@@ -42,12 +43,21 @@ def normalize_context(pairs: ContextPairs) -> ContextPairs:
     return sorted(set(pairs))
 
 
+def pairs_to_arrays(pairs: ResultPairs) -> "tuple[array, array]":
+    """Convert ``(iter, pre)`` tuple pairs into paired ``array('q')`` columns."""
+    iters = array("q", (pair[0] for pair in pairs))
+    pres = array("q", (pair[1] for pair in pairs))
+    return iters, pres
+
+
 # --------------------------------------------------------------------------- #
 # child axis — the detailed algorithm of Figure 6
 # --------------------------------------------------------------------------- #
-def ll_child(container: DocumentContainer, context: ContextPairs, *,
-             stats: StaircaseStats | None = None) -> ResultPairs:
-    """Loop-lifted staircase join for the ``child`` axis (Figure 6).
+def ll_child_arrays(container: DocumentContainer, context: ContextPairs, *,
+                    stats: StaircaseStats | None = None
+                    ) -> "tuple[array, array]":
+    """Loop-lifted staircase join for the ``child`` axis (Figure 6),
+    producing the result as paired ``(iter, pre)`` int arrays.
 
     A stack of *active* context nodes is maintained; each entry records the
     end of its partition (``eos``), the next child still to be produced
@@ -60,7 +70,8 @@ def ll_child(container: DocumentContainer, context: ContextPairs, *,
         stats = StaircaseStats()
     context = normalize_context(context)
     stats.contexts_seen += len(context)
-    result: ResultPairs = []
+    out_iters = array("q")
+    out_pres = array("q")
     size = container.size
 
     # group consecutive context entries that share the same pre value
@@ -81,8 +92,8 @@ def ll_child(container: DocumentContainer, context: ContextPairs, *,
         iters = entry[2]
         while next_child <= limit:
             stats.touch()
-            for iteration in iters:
-                result.append((iteration, next_child))
+            out_iters.extend(iters)
+            out_pres.extend([next_child] * len(iters))
             next_child += size[next_child] + 1
         entry[1] = next_child
 
@@ -107,29 +118,42 @@ def ll_child(container: DocumentContainer, context: ContextPairs, *,
         inner_loop_child(active[-1][0])
         active.pop()
 
-    stats.results += len(result)
-    return result
+    stats.results += len(out_pres)
+    return out_iters, out_pres
+
+
+def ll_child(container: DocumentContainer, context: ContextPairs, *,
+             stats: StaircaseStats | None = None) -> ResultPairs:
+    """Tuple-pair facade over :func:`ll_child_arrays`."""
+    iters, pres = ll_child_arrays(container, context, stats=stats)
+    return list(zip(iters, pres))
 
 
 # --------------------------------------------------------------------------- #
 # descendant / descendant-or-self — single scan with an active-iteration stack
 # --------------------------------------------------------------------------- #
-def ll_descendant(container: DocumentContainer, context: ContextPairs, *,
-                  or_self: bool = False,
-                  stats: StaircaseStats | None = None) -> ResultPairs:
-    """Loop-lifted descendant(-or-self) step.
+def ll_descendant_arrays(container: DocumentContainer, context: ContextPairs, *,
+                         or_self: bool = False,
+                         stats: StaircaseStats | None = None
+                         ) -> "tuple[array, array]":
+    """Loop-lifted descendant(-or-self) step as paired ``(iter, pre)`` arrays.
 
     The document region spanned by the context is scanned once; a stack of
     ``(eos, iteration)`` entries tracks which iterations are currently
     *active* (their context subtree covers the scan position).  Pruning
     happens per iteration: a context node whose iteration is already active
     is ignored (it would only generate duplicates within that iteration).
+
+    The common single-active-context run (one outermost context per document
+    region — every absolute path) is emitted as one dense ``pre`` window
+    appended with two C-level ``extend`` calls instead of a per-node loop.
     """
     if stats is None:
         stats = StaircaseStats()
     context = normalize_context(context)
     stats.contexts_seen += len(context)
-    result: ResultPairs = []
+    out_iters = array("q")
+    out_pres = array("q")
     size = container.size
 
     active: list[tuple[int, int]] = []      # (eos, iteration); one entry per iter
@@ -145,11 +169,30 @@ def ll_descendant(container: DocumentContainer, context: ContextPairs, *,
         if active:
             active = [(end, iteration) for end, iteration in active
                       if end >= position]
+        if len(active) == 1:
+            # fast path: a single active context and no upcoming context
+            # node before its end means the rest of its partition is one
+            # contiguous descendant window — emit it wholesale
+            end, iteration = active[0]
+            next_context = context[index][0] if index < total else end + 1
+            window_end = min(end, next_context - 1)
+            if window_end >= position:
+                span = range(position, window_end + 1)
+                stats.touch(len(span))
+                out_pres.extend(span)
+                out_iters.extend([iteration] * len(span))
+                position = window_end + 1
+                if position > end:
+                    active = []
+                if index >= total and not active:
+                    break
+                continue
         # the current node is a descendant of every still-active context
         if active:
             stats.touch()
             for _, iteration in active:
-                result.append((iteration, position))
+                out_iters.append(iteration)
+                out_pres.append(position)
         # activate context nodes located at the current position
         while index < total and context[index][0] == position:
             pre, iteration = context[index]
@@ -163,11 +206,21 @@ def ll_descendant(container: DocumentContainer, context: ContextPairs, *,
                 continue
             active.append((pre + size[pre], iteration))
             if or_self:
-                result.append((iteration, pre))
+                out_iters.append(iteration)
+                out_pres.append(pre)
         position += 1
 
-    stats.results += len(result)
-    return result
+    stats.results += len(out_pres)
+    return out_iters, out_pres
+
+
+def ll_descendant(container: DocumentContainer, context: ContextPairs, *,
+                  or_self: bool = False,
+                  stats: StaircaseStats | None = None) -> ResultPairs:
+    """Tuple-pair facade over :func:`ll_descendant_arrays`."""
+    iters, pres = ll_descendant_arrays(container, context, or_self=or_self,
+                                       stats=stats)
+    return list(zip(iters, pres))
 
 
 # --------------------------------------------------------------------------- #
@@ -277,47 +330,81 @@ def ll_attribute(container: DocumentContainer, context: ContextPairs,
 # --------------------------------------------------------------------------- #
 # dispatching entry points
 # --------------------------------------------------------------------------- #
-def loop_lifted_step(container: DocumentContainer, context: ContextPairs,
-                     axis: Axis, node_test: NodeTest | None = None, *,
-                     stats: StaircaseStats | None = None) -> ResultPairs:
-    """Evaluate one location step for all iterations in a single pass."""
+def loop_lifted_step_arrays(container: DocumentContainer, context: ContextPairs,
+                            axis: Axis, node_test: NodeTest | None = None, *,
+                            stats: StaircaseStats | None = None
+                            ) -> "tuple[array, array]":
+    """Evaluate one location step for all iterations in a single pass,
+    returning the result as paired ``(iter, pre)`` ``array('q')`` columns.
+
+    The child and descendant axes run natively on arrays; the remaining
+    axes convert their pair lists once.  This is the producer the typed
+    executor consumes — step results feed the relational layer without
+    ever round-tripping through lists of Python tuples.
+    """
     if axis is Axis.ATTRIBUTE:
         raise StaircaseJoinError("attribute axis is handled by ll_attribute()")
     if axis is Axis.CHILD:
-        result = ll_child(container, context, stats=stats)
+        iters, pres = ll_child_arrays(container, context, stats=stats)
     elif axis is Axis.DESCENDANT:
-        result = ll_descendant(container, context, stats=stats)
+        iters, pres = ll_descendant_arrays(container, context, stats=stats)
     elif axis is Axis.DESCENDANT_OR_SELF:
-        result = ll_descendant(container, context, or_self=True, stats=stats)
-    elif axis is Axis.SELF:
-        result = ll_self(container, context)
-    elif axis is Axis.PARENT:
-        result = ll_parent(container, context)
-    elif axis is Axis.ANCESTOR:
-        result = ll_ancestor(container, context)
-    elif axis is Axis.ANCESTOR_OR_SELF:
-        result = ll_ancestor(container, context, or_self=True)
-    elif axis is Axis.FOLLOWING:
-        result = ll_following(container, context)
-    elif axis is Axis.PRECEDING:
-        result = ll_preceding(container, context)
-    elif axis is Axis.FOLLOWING_SIBLING:
-        result = ll_siblings(container, context, following=True)
-    elif axis is Axis.PRECEDING_SIBLING:
-        result = ll_siblings(container, context, following=False)
-    else:  # pragma: no cover - defensive
-        raise StaircaseJoinError(f"unsupported axis {axis}")
+        iters, pres = ll_descendant_arrays(container, context, or_self=True,
+                                           stats=stats)
+    else:
+        iters, pres = pairs_to_arrays(
+            _ll_other_axis(container, context, axis))
 
     if node_test is not None and node_test != NodeTest(kind="node"):
-        result = [(iteration, pre) for iteration, pre in result
-                  if node_test.matches_tree_node(container, pre)]
-    return result
+        matches = node_test.matches_tree_node
+        kept_iters = array("q")
+        kept_pres = array("q")
+        for iteration, pre in zip(iters, pres):
+            if matches(container, pre):
+                kept_iters.append(iteration)
+                kept_pres.append(pre)
+        return kept_iters, kept_pres
+    return iters, pres
 
 
-def iterative_step(container: DocumentContainer, context: ContextPairs,
-                   axis: Axis, node_test: NodeTest | None = None, *,
-                   stats: StaircaseStats | None = None) -> ResultPairs:
-    """Figure 12 baseline: one plain staircase join per iteration.
+def _ll_other_axis(container: DocumentContainer, context: ContextPairs,
+                   axis: Axis) -> ResultPairs:
+    """The pair-list algorithms for the remaining (non-scan) axes."""
+    if axis is Axis.SELF:
+        return ll_self(container, context)
+    if axis is Axis.PARENT:
+        return ll_parent(container, context)
+    if axis is Axis.ANCESTOR:
+        return ll_ancestor(container, context)
+    if axis is Axis.ANCESTOR_OR_SELF:
+        return ll_ancestor(container, context, or_self=True)
+    if axis is Axis.FOLLOWING:
+        return ll_following(container, context)
+    if axis is Axis.PRECEDING:
+        return ll_preceding(container, context)
+    if axis is Axis.FOLLOWING_SIBLING:
+        return ll_siblings(container, context, following=True)
+    if axis is Axis.PRECEDING_SIBLING:
+        return ll_siblings(container, context, following=False)
+    raise StaircaseJoinError(f"unsupported axis {axis}")  # pragma: no cover
+
+
+def loop_lifted_step(container: DocumentContainer, context: ContextPairs,
+                     axis: Axis, node_test: NodeTest | None = None, *,
+                     stats: StaircaseStats | None = None) -> ResultPairs:
+    """Evaluate one location step for all iterations in a single pass
+    (tuple-pair facade over :func:`loop_lifted_step_arrays`)."""
+    iters, pres = loop_lifted_step_arrays(container, context, axis, node_test,
+                                          stats=stats)
+    return list(zip(iters, pres))
+
+
+def iterative_step_arrays(container: DocumentContainer, context: ContextPairs,
+                          axis: Axis, node_test: NodeTest | None = None, *,
+                          stats: StaircaseStats | None = None
+                          ) -> "tuple[array, array]":
+    """Figure 12 baseline: one plain staircase join per iteration, with the
+    result delivered as paired ``(iter, pre)`` int arrays.
 
     The context pairs are grouped by iteration and the plain (single context
     set) staircase join is invoked once per group — i.e. one sequential pass
@@ -329,9 +416,20 @@ def iterative_step(container: DocumentContainer, context: ContextPairs,
     by_iteration: dict[int, list[int]] = {}
     for pre, iteration in context:
         by_iteration.setdefault(iteration, []).append(pre)
-    result: ResultPairs = []
+    out_iters = array("q")
+    out_pres = array("q")
     for iteration in sorted(by_iteration):
         nodes = staircase_join(container, by_iteration[iteration], axis,
                                node_test, stats=stats)
-        result.extend((iteration, pre) for pre in nodes)
-    return result
+        out_iters.extend([iteration] * len(nodes))
+        out_pres.extend(nodes)
+    return out_iters, out_pres
+
+
+def iterative_step(container: DocumentContainer, context: ContextPairs,
+                   axis: Axis, node_test: NodeTest | None = None, *,
+                   stats: StaircaseStats | None = None) -> ResultPairs:
+    """Tuple-pair facade over :func:`iterative_step_arrays`."""
+    iters, pres = iterative_step_arrays(container, context, axis, node_test,
+                                        stats=stats)
+    return list(zip(iters, pres))

@@ -21,11 +21,12 @@ which order by document order and compare by node identity.
 
 from __future__ import annotations
 
+from array import array
 from enum import IntEnum
 from typing import Any, Iterable, Iterator
 
 from ..errors import DocumentError
-from ..relational.column import Column
+from ..relational.column import Column, IntColumn
 from ..relational.properties import ColumnProps, TableProps
 from ..relational.table import Table
 from ..concurrency import ReadWriteLock
@@ -118,16 +119,18 @@ class DocumentContainer:
         self.order_key = order_key
         self.transient = transient
         self.names = NamePool()
-        # structural table (pre is the implicit dense row id)
-        self.size: list[int] = []
-        self.level: list[int] = []
-        self.kind: list[int] = []
-        self.name_id: list[int] = []         # name id for elements, -1 otherwise
+        # structural table (pre is the implicit dense row id); the integer
+        # columns are typed array('q') storage — shredding appends in C,
+        # and the staircase joins scan without per-value unboxing
+        self.size = array("q")
+        self.level = array("q")
+        self.kind = array("q")
+        self.name_id = array("q")            # name id for elements, -1 otherwise
         self.value: list[str | None] = []    # text / comment / PI content
-        self.frag: list[int] = []            # fragment id (root pre of the fragment)
+        self.frag = array("q")               # fragment id (root pre of the fragment)
         # attribute table
-        self.attr_owner: list[int] = []
-        self.attr_name: list[int] = []
+        self.attr_owner = array("q")
+        self.attr_name = array("q")
         self.attr_value: list[str] = []
         self._attrs_by_owner: dict[int, list[int]] = {}
         # lazily built element-name index (nametest pushdown candidate lists)
@@ -292,24 +295,29 @@ class DocumentContainer:
     # relational views
     # ------------------------------------------------------------------ #
     def structural_table(self) -> Table:
-        """The ``pre|size|level|kind|name|frag`` table as a relational Table."""
+        """The ``pre|size|level|kind|name|frag`` table as a relational Table.
+
+        ``pre`` is a virtual dense column; the attribute columns are typed
+        ``i64`` snapshots (copied so the table stays a consistent
+        materialised intermediate even if the container grows afterwards).
+        """
         pre = Column.dense("pre", self.node_count)
         props = TableProps(order=("pre",))
         columns = [
             pre,
-            Column("size", self.size),
-            Column("level", self.level),
-            Column("kind", self.kind),
-            Column("name", self.name_id),
-            Column("frag", self.frag),
+            IntColumn("size", array("q", self.size)),
+            IntColumn("level", array("q", self.level)),
+            IntColumn("kind", array("q", self.kind)),
+            IntColumn("name", array("q", self.name_id)),
+            IntColumn("frag", array("q", self.frag)),
         ]
         return Table(columns, props=props)
 
     def attribute_table(self) -> Table:
         """The attribute property container as a relational Table."""
         columns = [
-            Column("owner", self.attr_owner),
-            Column("name", self.attr_name),
+            IntColumn("owner", array("q", self.attr_owner)),
+            IntColumn("name", array("q", self.attr_name)),
             Column("value", self.attr_value),
         ]
         return Table(columns, props=TableProps(order=("owner",)))

@@ -223,6 +223,23 @@ class LoopLiftingCompiler:
             return True
         return "pos" in self._plan.required_columns(node)
 
+    def _needs_item(self, node: PlanNode) -> bool:
+        """Whether any consumer reads the ``item`` column of this node.
+
+        ``False`` (only under the ``typed_columns`` ablation) lets the
+        executor skip value materialisation entirely — pure-cardinality
+        consumers such as ``count()`` read ``iter`` alone.  Nodes marked
+        for the cross-query subplan cache are exempt: their materialised
+        item sequence is shared with *other* queries whose consumers the
+        required-columns analysis of this plan knows nothing about.
+        """
+        if self._plan is None or not getattr(self.options, "typed_columns", True):
+            return True
+        if self._subplan_cache is not None \
+                and self._plan.cache_key(node) is not None:
+            return True
+        return "item" in self._plan.required_columns(node)
+
     # -- literals, variables, sequences ------------------------------------- #
     def _exec_const(self, node: PlanNode, loop, env):
         return lift_constant(loop, node.p("value"))
@@ -562,7 +579,7 @@ class LoopLiftingCompiler:
         explain.record("join", "join.order-restore", len(old_iters),
                        len(old_iters))
 
-        new_loop = make_loop(list(range(1, len(ordered) + 1)))
+        new_loop = make_loop(range(1, len(ordered) + 1))
         new_env = {name: self._relabel_sequence(table, mapping)
                    for name, table in env.items()}
         pairs = sorted((outer, mapping[inner]) for outer, inner
@@ -733,9 +750,9 @@ class LoopLiftingCompiler:
             return self._empty_join_result(clause)
 
         # 2. the side of the comparison that depends on $v, per binding item
-        item_loop = make_loop(list(range(1, len(items) + 1)))
+        item_loop = make_loop(range(1, len(items) + 1))
         item_env = {clause.p("var"): Table([
-            Column("iter", list(range(1, len(items) + 1)), infer=True),
+            Column.dense("iter", len(items), base=1),
             Column.constant("pos", 1, len(items)),
             Column("item", list(items)),
         ], props=TableProps(order=("iter", "pos")))}
@@ -770,15 +787,14 @@ class LoopLiftingCompiler:
         # 5. build the scope map / inner loop / $v binding for the survivors
         pairs.sort()
         outer_column = [pair[0] for pair in pairs]
-        inner_column = list(range(1, len(pairs) + 1))
         scope_map = Table([
             Column("outer", outer_column),
-            Column("inner", inner_column, infer=True),
+            Column.dense("inner", len(pairs), base=1),
         ], props=TableProps(order=("outer", "inner")))
-        inner_loop = make_loop(inner_column)
+        inner_loop = make_loop(range(1, len(pairs) + 1))
         bound_items = [items[pair[1] - 1] for pair in pairs]
         bindings = {clause.p("var"): Table([
-            Column("iter", inner_column, infer=True),
+            Column.dense("iter", len(pairs), base=1),
             Column.constant("pos", 1, len(pairs)),
             Column("item", bound_items),
         ], props=TableProps(order=("iter", "pos")))}
@@ -842,7 +858,8 @@ class LoopLiftingCompiler:
         axis = node.p("axis")
         if not predicates:
             return axis_step(context, axis, node_test,
-                             options=self.step_options, stats=self.step_stats)
+                             options=self.step_options, stats=self.step_stats,
+                             need_item=self._needs_item(node))
         # predicates need positions relative to each context node: open a
         # nested iteration scope with one iteration per context node
         scope_map, sub_loop, dot, _ = for_binding(

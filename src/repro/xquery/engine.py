@@ -80,6 +80,13 @@ class EngineOptions:
     #: document-store schema version + context root — only active when a
     #: :class:`repro.server.SubplanCache` is attached to the engine
     cross_query_caching: bool = True
+    #: typed columnar kernels: location steps emit paired int-array columns
+    #: and — when the required-columns analysis proves every consumer reads
+    #: ``iter`` alone (pure-cardinality queries like ``count(path)``) — skip
+    #: ``item`` materialisation entirely, never boxing a node surrogate.
+    #: ``False`` is the list-representation baseline of the vectorization
+    #: ablation (storage stays typed; the executor fast paths are disabled)
+    typed_columns: bool = True
 
     def replace(self, **changes: Any) -> "EngineOptions":
         return replace(self, **changes)

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from ..relational import operators as ops
-from ..relational.column import Column
+from ..relational.column import Column, DenseColumn, IntColumn, make_column
 from ..relational.properties import ColumnProps, TableProps
 from ..relational.table import Table
 
@@ -44,8 +44,16 @@ def empty_sequence() -> Table:
 
 
 def make_loop(iterations: Sequence[int]) -> Table:
-    """Build a loop relation from explicit iteration numbers (ascending)."""
-    column = Column("iter", list(iterations), infer=True)
+    """Build a loop relation from explicit iteration numbers (ascending).
+
+    A ``range`` input yields a virtual dense column; everything else is a
+    typed ``i64`` column (iteration numbers are always integers).
+    """
+    if isinstance(iterations, range) and iterations.step == 1:
+        column: Column = DenseColumn("iter", len(iterations),
+                                     base=iterations.start)
+    else:
+        column = IntColumn("iter", iterations, infer=True)
     return Table([column], props=TableProps(order=("iter",)))
 
 
@@ -69,7 +77,7 @@ def lift_constant(loop: Table, value: Any) -> Table:
     """Loop-lift a single constant item: every iteration sees ``(1, value)``."""
     count = loop.row_count
     columns = [
-        Column("iter", list(loop.col("iter")), props=loop.col_props("iter").copy()),
+        loop.column("iter").renamed("iter"),
         Column.constant("pos", 1, count),
         Column.constant("item", value, count),
     ]
@@ -78,15 +86,19 @@ def lift_constant(loop: Table, value: Any) -> Table:
 
 def lift_items(loop: Table, items: Sequence[Any]) -> Table:
     """Loop-lift a literal item sequence: every iteration sees the whole sequence."""
-    iters: list[int] = []
-    positions: list[int] = []
+    from array import array
+
+    iters = array("q")
+    positions = array("q")
     values: list[Any] = []
+    width = len(items)
+    pos_block = range(1, width + 1)
     for iteration in loop.col("iter"):
-        for position, item in enumerate(items, start=1):
-            iters.append(iteration)
-            positions.append(position)
-            values.append(item)
-    columns = [Column("iter", iters), Column("pos", positions), Column("item", values)]
+        iters.extend([iteration] * width)
+        positions.extend(pos_block)
+        values.extend(items)
+    columns = [IntColumn("iter", iters), IntColumn("pos", positions),
+               Column("item", values)]
     return Table(columns, props=TableProps(order=("iter", "pos")))
 
 
@@ -106,11 +118,11 @@ def from_iter_items(pairs: Sequence[tuple[int, Any]], *,
         explain.record("project", "project.pushdown", len(iters), len(iters),
                        detail="pos pruned")
         return Table([
-            Column("iter", iters),
+            IntColumn("iter", iters),
             Column.constant("pos", 1, len(iters)),
             Column("item", items),
         ], props=TableProps(order=("iter",)))
-    table = Table([Column("iter", iters), Column("item", items)],
+    table = Table([IntColumn("iter", iters), Column("item", items)],
                   props=TableProps(order=("iter",)))
     table.add_group_order((), "iter")
     table = ops.rownum(table, "pos", (), partition="iter")
@@ -174,18 +186,18 @@ def for_binding(sequence: Table, *, use_properties: bool = True
     inner_loop.props.order = ("iter",)
     inner_loop.column("iter").props = ColumnProps(dense=True, dense_base=1, key=True)
 
+    # `inner` is 1..count by construction: both derived tables get a
+    # virtual dense iter column instead of a materialised copy
     variable = Table([
-        Column("iter", list(numbered.col("inner")),
-               props=ColumnProps(dense=True, dense_base=1, key=True)),
+        Column.dense("iter", count, base=1),
         Column.constant("pos", 1, count),
-        Column("item", list(numbered.col("item"))),
+        numbered.column("item").renamed("item"),
     ], props=TableProps(order=("iter", "pos")))
 
     positions = Table([
-        Column("iter", list(numbered.col("inner")),
-               props=ColumnProps(dense=True, dense_base=1, key=True)),
+        Column.dense("iter", count, base=1),
         Column.constant("pos", 1, count),
-        Column("item", list(numbered.col("pos"))),
+        make_column("item", numbered.col("pos")),
     ], props=TableProps(order=("iter", "pos")))
 
     return scope_map, inner_loop, variable, positions
@@ -303,7 +315,7 @@ def singleton_per_iter(loop: Table, values_by_iter: dict[int, Any]) -> Table:
             iters.append(iteration)
             items.append(values_by_iter[iteration])
     table = Table([
-        Column("iter", iters, infer=True),
+        IntColumn("iter", iters, infer=True),
         Column.constant("pos", 1, len(iters)),
         Column("item", items),
     ], props=TableProps(order=("iter", "pos")))

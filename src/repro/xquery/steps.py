@@ -12,20 +12,30 @@ of all iterations (``iter|pos|item`` with node items), converts it into the
 
 and re-assembles an ``iter|pos|item`` table whose items are node surrogates
 in document order per iteration.
+
+The staircase joins deliver their results as paired ``(iter, pre)`` int
+arrays; the assembly sorts/dedups on plain integers and boxes a
+:class:`~repro.xml.document.NodeRef` only for rows that survive — and with
+``need_item=False`` (the required-columns analysis proved every consumer
+reads ``iter`` alone, e.g. ``count(path)``) no node surrogate is built at
+all: the result table carries a typed ``iter`` column next to constant
+``pos``/``item`` stand-ins.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from ..errors import XQueryTypeError
-from ..relational.column import Column
+from ..relational.column import Column, IntColumn
 from ..relational.properties import TableProps
 from ..relational.table import Table
 from ..relational import explain
 from ..staircase.axes import Axis, NodeTest
 from ..staircase.iterative import StaircaseStats
-from ..staircase.loop_lifted import iterative_step, ll_attribute, loop_lifted_step
+from ..staircase.loop_lifted import (iterative_step_arrays, ll_attribute,
+                                     loop_lifted_step_arrays, pairs_to_arrays)
 from ..staircase.pushdown import loop_lifted_step_pushdown
 from ..xml.document import DocumentContainer, NodeKind, NodeRef
 from . import ast
@@ -57,7 +67,8 @@ def _wants_loop_lifted(axis: Axis, options: StepOptions) -> bool:
 
 def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
               options: StepOptions | None = None,
-              stats: StaircaseStats | None = None) -> Table:
+              stats: StaircaseStats | None = None,
+              need_item: bool = True) -> Table:
     """Evaluate one location step for every iteration of the context.
 
     ``context`` is an ``iter|pos|item`` table whose items are
@@ -65,6 +76,11 @@ def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
     error (XPTY0019).  The result is an ``iter|pos|item`` table with the step
     results per iteration in document order, duplicate free, ``pos``
     renumbered 1..n per iteration.
+
+    ``need_item=False`` applies the dead-``item`` rewrite: callers proved no
+    consumer ever reads the node surrogates (only per-iteration
+    cardinalities matter), so the per-row ``NodeRef`` boxing is skipped and
+    ``item`` is a constant stand-in column.
     """
     if options is None:
         options = StepOptions()
@@ -90,60 +106,97 @@ def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
         pairs = per_container.setdefault(id(container), (container, []))[1]
         pairs.append((item.pre, iteration))
 
-    results: list[tuple[int, NodeRef]] = []
+    # one (iters, pres/attr-indexes) array pair per container
+    produced: list[tuple[DocumentContainer, array, array, bool]] = []
+    contexts_in = 0
     for container, pairs in per_container.values():
         pairs = sorted(set(pairs))
+        contexts_in += len(pairs)
         if axis is Axis.ATTRIBUTE:
             name = node_test.name if node_test.has_name else None
-            for iteration, attr_index in ll_attribute(container, pairs, name):
-                results.append((iteration, container.attribute(attr_index)))
-            explain.record("step", "step.attribute", len(pairs), len(results))
+            iters, attrs = pairs_to_arrays(ll_attribute(container, pairs, name))
+            explain.record("step", "step.attribute", len(pairs), len(iters))
+            produced.append((container, iters, attrs, True))
             continue
 
+        arrays = None
         if _wants_loop_lifted(axis, options):
-            produced = None
             if options.nametest_pushdown:
-                produced = loop_lifted_step_pushdown(container, pairs, axis,
-                                                     node_test, stats=stats)
-                if produced is not None:
+                pushed = loop_lifted_step_pushdown(container, pairs, axis,
+                                                   node_test, stats=stats)
+                if pushed is not None:
+                    arrays = pairs_to_arrays(pushed)
                     explain.record("step", "step.pushdown", len(pairs),
-                                   len(produced), detail=axis.value)
-            if produced is None:
-                produced = loop_lifted_step(container, pairs, axis, node_test,
-                                            stats=stats)
+                                   len(arrays[0]), detail=axis.value)
+            if arrays is None:
+                arrays = loop_lifted_step_arrays(container, pairs, axis,
+                                                 node_test, stats=stats)
                 explain.record("step", "step.loop-lifted", len(pairs),
-                               len(produced), detail=axis.value)
+                               len(arrays[0]), detail=axis.value)
         else:
-            produced = iterative_step(container, pairs, axis, node_test,
-                                      stats=stats)
-            explain.record("step", "step.iterative", len(pairs), len(produced),
-                           detail=axis.value)
-        for iteration, pre in produced:
-            results.append((iteration, container.node(pre)))
+            arrays = iterative_step_arrays(container, pairs, axis, node_test,
+                                           stats=stats)
+            explain.record("step", "step.iterative", len(pairs),
+                           len(arrays[0]), detail=axis.value)
+        produced.append((container, arrays[0], arrays[1], False))
 
-    # document order per iteration, duplicate free, positions renumbered
-    results.sort(key=lambda pair: (pair[0], pair[1].order_key()))
-    deduped: list[tuple[int, NodeRef]] = []
-    previous: tuple[int, NodeRef] | None = None
-    for pair in results:
-        if previous is not None and pair[0] == previous[0] and pair[1] == previous[1]:
+    # merge containers in document order per iteration, duplicate free.
+    # Rows are compared as plain int tuples — (iter, container order key,
+    # owner pre, attr flag, attr index) mirrors NodeRef.order_key() exactly,
+    # so the sort/dedup never touches a boxed node surrogate.
+    containers = [entry[0] for entry in produced]
+    rows: list[tuple[int, int, int, int, int, int]] = []
+    for cidx, (container, iters, ranks, is_attr) in enumerate(produced):
+        okey = container.order_key
+        if is_attr:
+            owners = container.attr_owner
+            rows.extend((iteration, okey, owners[rank], 1, rank, cidx)
+                        for iteration, rank in zip(iters, ranks))
+        else:
+            rows.extend((iteration, okey, rank, 0, 0, cidx)
+                        for iteration, rank in zip(iters, ranks))
+    rows.sort()
+    deduped: list[tuple[int, int, int, int, int, int]] = []
+    previous = None
+    for row in rows:
+        key = row[:5]
+        if previous is not None and key == previous:
             continue
-        deduped.append(pair)
-        previous = pair
+        deduped.append(row)
+        previous = key
 
-    iters = [pair[0] for pair in deduped]
-    items = [pair[1] for pair in deduped]
-    positions: list[int] = []
+    iters_out = array("q", (row[0] for row in deduped))
+
+    if not need_item:
+        # dead-item rewrite: per-iteration cardinalities survive, node
+        # surrogates are never built and — since consumers read iter
+        # alone — a constant pos column stands in (no per-row numbering)
+        explain.record("step", "step.item-pruned", contexts_in,
+                       len(iters_out), detail=axis.value)
+        table = Table([IntColumn("iter", iters_out),
+                       Column.constant("pos", 1, len(iters_out)),
+                       Column.constant("item", None, len(iters_out))],
+                      props=TableProps(order=("iter",)))
+        return table
+
+    positions = array("q")
     counter = 0
     last_iter: int | None = None
-    for iteration in iters:
+    for iteration in iters_out:
         if iteration != last_iter:
             counter = 0
             last_iter = iteration
         counter += 1
         positions.append(counter)
 
-    table = Table([Column("iter", iters), Column("pos", positions),
+    items: list[NodeRef] = []
+    for _, _, pre, flag, rank, cidx in deduped:
+        container = containers[cidx]
+        items.append(container.attribute(rank) if flag
+                     else NodeRef(container, pre))
+
+    table = Table([IntColumn("iter", iters_out),
+                   IntColumn("pos", positions),
                    Column("item", items)],
                   props=TableProps(order=("iter", "pos")))
     return table

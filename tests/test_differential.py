@@ -271,6 +271,30 @@ def test_generator_is_deterministic():
     assert len(generated_queries()) == QUERY_COUNT
 
 
+def test_typed_columns_switch_is_ablated():
+    """The vectorization switch must be part of the harness: a single-switch
+    ``no-typed_columns`` configuration and membership in the sampled
+    multi-switch combinations (OPTION_NAMES is derived from the dataclass
+    fields, so this guards against the switch being renamed away)."""
+    assert "typed_columns" in OPTION_NAMES
+    names = [name for name, _ in option_configurations()]
+    assert "no-typed_columns" in names
+
+
+def test_typed_kernels_bit_identical_to_list_baseline(differential_engine,
+                                                      baseline_results):
+    """typed_columns=True (the default) and the list-representation baseline
+    must serialize identically on every generated query — the typed kernels
+    may change *how* results are computed, never their bytes."""
+    typed = EngineOptions(typed_columns=True)
+    listy = EngineOptions(typed_columns=False)
+    for query in generated_queries():
+        typed_result = differential_engine.query(query, options=typed)
+        list_result = differential_engine.query(query, options=listy)
+        assert typed_result.serialize() == list_result.serialize() \
+            == baseline_results[query], query
+
+
 def test_generator_covers_the_query_families():
     queries = "\n".join(generated_queries())
     assert "for $" in queries

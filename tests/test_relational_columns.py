@@ -1,0 +1,204 @@
+"""Unit tests for the typed column representations (i64 / dense / list).
+
+The representation lattice must be invisible to consumers: equality,
+property inference and the positional primitives have to behave identically
+whether a column is a plain list, an ``array('q')`` or a virtual ``range``.
+"""
+
+from array import array
+
+import pytest
+
+from repro.errors import ColumnTypeError
+from repro.relational import (Column, DenseColumn, IntColumn, Table,
+                              make_column, values_equal)
+from repro.relational import operators as ops
+from repro.relational.explain import capture
+from repro.relational.properties import infer_column_props, is_dense_sequence
+
+
+class TestRepresentations:
+    def test_dense_is_virtual(self):
+        column = Column.dense("iter", 1000, base=5)
+        assert isinstance(column, DenseColumn)
+        assert isinstance(column.values, range)
+        assert column[0] == 5 and column[999] == 1004
+        assert len(column) == 1000
+        assert column.props.dense and column.props.key
+        assert column.props.dense_base == 5
+
+    def test_int_column_adopts_arrays_without_copy(self):
+        backing = array("q", [1, 2, 3])
+        column = IntColumn("pre", backing)
+        assert column.values is backing
+
+    def test_int_column_converts_iterables(self):
+        column = IntColumn("pre", (value for value in [3, 1, 2]))
+        assert isinstance(column.values, array)
+        assert column.tolist() == [3, 1, 2]
+
+    def test_make_column_picks_representation(self):
+        assert isinstance(make_column("a", range(3)), DenseColumn)
+        assert isinstance(make_column("a", array("q", [1])), IntColumn)
+        assert isinstance(make_column("a", ["x"]), Column)
+        assert type(make_column("a", [1, 2])) is Column
+
+    def test_reps_are_labelled(self):
+        assert Column("a", [1]).rep == "list"
+        assert IntColumn("a", [1]).rep == "i64"
+        assert Column.dense("a", 1).rep == "dense"
+
+
+class TestCrossRepresentationEquality:
+    def test_values_equal_across_representations(self):
+        assert values_equal([1, 2, 3], array("q", [1, 2, 3]))
+        assert values_equal(range(1, 4), [1, 2, 3])
+        assert values_equal(array("q", [1, 2, 3]), range(1, 4))
+        assert not values_equal([1, 2], [1, 2, 3])
+        assert not values_equal(range(3), [0, 1, 5])
+
+    def test_column_eq_is_representation_independent(self):
+        as_list = Column("iter", [1, 2, 3])
+        as_array = IntColumn("iter", [1, 2, 3])
+        as_dense = Column.dense("iter", 3, base=1)
+        assert as_list == as_array == as_dense
+        assert as_list == as_dense  # dense vs materialized-int comparison
+        assert Column("other", [1, 2, 3]) != as_array
+
+    def test_table_eq_is_representation_independent(self):
+        typed = Table([IntColumn("iter", [1, 2]), Column("item", ["a", "b"])])
+        plain = Table([Column("iter", [1, 2]), Column("item", ["a", "b"])])
+        assert typed == plain
+        assert typed != Table([IntColumn("iter", [1, 3]),
+                               Column("item", ["a", "b"])])
+
+
+class TestPropertyInference:
+    def test_infer_props_on_arrays(self):
+        props = infer_column_props(array("q", [4, 5, 6]))
+        assert props.dense and props.dense_base == 4 and props.key
+
+    def test_infer_props_on_ranges_without_scan(self):
+        props = infer_column_props(range(7, 7 + 10 ** 9))  # would never scan
+        assert props.dense and props.dense_base == 7
+
+    def test_is_dense_sequence_on_range(self):
+        assert is_dense_sequence(range(3, 9)) == (True, 3)
+        assert is_dense_sequence(range(0, 10, 2)) == (False, 0)
+        assert is_dense_sequence(range(0)) == (True, 0)
+
+    def test_infer_key_on_array(self):
+        props = infer_column_props(array("q", [5, 3, 9]))
+        assert props.key and not props.dense
+
+
+class TestTypedTake:
+    def test_int_take_returns_int_column(self):
+        column = IntColumn("pre", [10, 20, 30, 40])
+        picked = column.take([3, 0])
+        assert isinstance(picked, IntColumn)
+        assert picked.tolist() == [40, 10]
+
+    def test_int_take_contiguous_window_slices(self):
+        column = IntColumn("pre", list(range(100)))
+        picked = column.take(range(10, 20))
+        assert isinstance(picked, IntColumn)
+        assert picked.tolist() == list(range(10, 20))
+
+    def test_dense_take_window_stays_dense(self):
+        column = Column.dense("iter", 100, base=1)
+        window = column.take(range(5, 10))
+        assert isinstance(window, DenseColumn)
+        assert window.tolist() == [6, 7, 8, 9, 10]
+        assert window.props.dense and window.props.dense_base == 6
+
+    def test_dense_take_scattered_materializes_ints(self):
+        column = Column.dense("iter", 10, base=0)
+        picked = column.take([9, 0, 4])
+        assert isinstance(picked, IntColumn)
+        assert picked.tolist() == [9, 0, 4]
+
+    def test_take_out_of_range_raises_uniformly(self):
+        for column in (Column("a", [1, 2]), IntColumn("a", [1, 2]),
+                       Column.dense("a", 2)):
+            with pytest.raises(ColumnTypeError):
+                column.take([5])
+
+    def test_renamed_shares_typed_storage(self):
+        column = IntColumn("a", [1, 2, 3])
+        renamed = column.renamed("b")
+        assert renamed.values is column.values
+        assert renamed.name == "b"
+        dense = Column.dense("a", 4, base=2).renamed("b")
+        assert isinstance(dense, DenseColumn)
+        assert dense.tolist() == [2, 3, 4, 5]
+
+
+class TestTypedKernels:
+    def test_select_eq_int_scan(self):
+        table = Table([IntColumn("k", [7, 3, 7, 9]), Column("v", list("abcd"))])
+        with capture() as trace:
+            result = ops.select_eq(table, "k", 7, use_positional=False)
+        assert list(result.col("v")) == ["a", "c"]
+        assert trace.count("select.int-scan") == 1
+
+    def test_select_eq_int_scan_cross_type_semantics(self):
+        table = Table([IntColumn("k", [1, 0, 2])])
+        assert ops.select_eq(table, "k", True,
+                             use_positional=False).row_count == 1
+        assert ops.select_eq(table, "k", 2.0,
+                             use_positional=False).row_count == 1
+        assert ops.select_eq(table, "k", 1.5,
+                             use_positional=False).row_count == 0
+        assert ops.select_eq(table, "k", "1",
+                             use_positional=False).row_count == 0
+
+    def test_select_eq_matches_list_semantics(self):
+        values = [5, 1, 5, 2, 5]
+        typed = Table([IntColumn("k", values)])
+        plain = Table([Column("k", list(values))])
+        for probe in (5, 1, 99, True, 5.0, "5"):
+            assert ops.select_eq(typed, "k", probe, use_positional=False) \
+                == ops.select_eq(plain, "k", probe, use_positional=False)
+
+    def test_positional_join_on_typed_probe(self):
+        left = Table([IntColumn("fk", [2, 0, 1])])
+        right = Table([Column.dense("rid", 3),
+                       Column("payload", ["x", "y", "z"])])
+        with capture() as trace:
+            result = ops.join(left, right, "fk", "rid")
+        assert list(result.col("payload")) == ["z", "x", "y"]
+        assert trace.count("join.positional") == 1
+
+    def test_positional_join_miss_falls_back_to_hash(self):
+        left = Table([IntColumn("fk", [0, 7])])         # 7 misses the build
+        right = Table([Column.dense("rid", 3), Column("p", ["x", "y", "z"])])
+        with capture() as trace:
+            result = ops.join(left, right, "fk", "rid")
+        assert trace.count("join.hash") == 1
+        assert list(result.col("p")) == ["x"]
+
+    def test_union_all_preserves_typed_columns(self):
+        first = Table([IntColumn("iter", [1, 2])])
+        second = Table([Column.dense("iter", 2, base=3)])
+        merged = ops.union_all([first, second])
+        assert merged.column("iter").rep == "i64"
+        assert merged.column("iter").tolist() == [1, 2, 3, 4]
+
+    def test_rownum_without_partition_is_dense(self):
+        table = Table.from_dict({"v": [5, 6, 7]})
+        result = ops.rownum(table, "rank", ())
+        assert isinstance(result.column("rank"), DenseColumn)
+        assert list(result.col("rank")) == [1, 2, 3]
+        assert result.col_props("rank").dense
+
+
+class TestAppend:
+    def test_int_append_rejects_non_integers(self):
+        column = IntColumn("a", [1])
+        with pytest.raises(ColumnTypeError):
+            column.append_column(Column("a", ["x"]))
+
+    def test_dense_append_refuses(self):
+        with pytest.raises(ColumnTypeError):
+            Column.dense("a", 2).append_column(Column("a", [7]))

@@ -44,7 +44,7 @@ class TestProjectAttach:
 
     def test_number_is_dense(self, left):
         result = ops.number(left, "rank")
-        assert result.col("rank") == [1, 2, 3]
+        assert list(result.col("rank")) == [1, 2, 3]
         assert result.col_props("rank").dense
 
 

@@ -10,7 +10,7 @@ from repro.relational.properties import infer_column_props, is_dense_sequence
 class TestColumn:
     def test_dense_constructor(self):
         column = Column.dense("iter", 4, base=1)
-        assert column.values == [1, 2, 3, 4]
+        assert list(column.values) == [1, 2, 3, 4]
         assert column.props.dense and column.props.key
         assert column.props.dense_base == 1
 

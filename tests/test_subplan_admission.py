@@ -1,0 +1,93 @@
+"""The subplan-cache admission policy: rows × observed repeats vs. threshold.
+
+Tiny absolute paths (``/site``: one row) must not occupy cache slots on
+first sight, while large materialisations are admitted immediately and hot
+tiny paths earn their slot after repeated misses.
+"""
+
+from repro.server import QueryServer, SubplanCache
+
+from conftest import SMALL_XML
+
+
+def make_key(fingerprint: str, version: int = 1, root: int = 0) -> tuple:
+    return SubplanCache.make_key(fingerprint, version, object(), root)
+
+
+class TestAdmissionPolicy:
+    def test_large_result_admitted_on_first_miss(self):
+        cache = SubplanCache(admission_threshold=2)
+        key = make_key("fp-large")
+        assert cache.lookup(key) is None
+        cache.insert(key, ("a", "b", "c"))
+        assert cache.lookup(key) == ("a", "b", "c")
+        assert cache.stats.rejected == 0
+
+    def test_tiny_result_rejected_until_hot(self):
+        cache = SubplanCache(admission_threshold=2)
+        key = make_key("fp-tiny")
+        assert cache.lookup(key) is None           # 1st observation
+        cache.insert(key, ("only",))               # 1 row × 1 repeat < 2
+        assert len(cache) == 0
+        assert cache.stats.rejected == 1
+        assert cache.lookup(key) is None           # 2nd observation
+        cache.insert(key, ("only",))               # 1 row × 2 repeats >= 2
+        assert len(cache) == 1
+        assert cache.lookup(key) == ("only",)
+
+    def test_empty_results_follow_the_one_row_rule(self):
+        cache = SubplanCache(admission_threshold=2)
+        key = make_key("fp-empty")
+        cache.lookup(key)
+        cache.insert(key, ())
+        assert len(cache) == 0 and cache.stats.rejected == 1
+        cache.lookup(key)
+        cache.insert(key, ())
+        assert len(cache) == 1                     # hot empty paths cache too
+
+    def test_zero_threshold_admits_everything(self):
+        cache = SubplanCache(admission_threshold=0)
+        key = make_key("fp-any")
+        cache.lookup(key)
+        cache.insert(key, ())
+        assert len(cache) == 1
+        assert cache.stats.rejected == 0
+
+    def test_threshold_exposed_in_stats(self):
+        cache = SubplanCache(admission_threshold=7)
+        stats = cache.stats.snapshot()
+        assert stats.admission_threshold == 7
+        cache.stats.clear()
+        assert cache.stats.admission_threshold == 7   # config survives clear()
+
+    def test_observation_memory_is_bounded(self):
+        cache = SubplanCache(capacity=4, admission_threshold=10)
+        for index in range(100):
+            cache.lookup(make_key(f"fp-{index}"))
+        assert len(cache._observations) <= 16
+
+
+class TestAdmissionThroughTheServer:
+    def test_tiny_root_path_is_not_materialized(self):
+        with QueryServer(threads=1) as server:
+            server.load_document_text(SMALL_XML, name="auction.xml")
+            server.execute("/site")                       # one-row path
+            fingerprints_cached = len(server.subplan_cache)
+            assert fingerprints_cached == 0
+            assert server.subplan_cache.stats.rejected >= 1
+
+    def test_multi_row_path_is_materialized_and_prefix_rejected(self):
+        with QueryServer(threads=1) as server:
+            server.load_document_text(SMALL_XML, name="auction.xml")
+            server.execute("/site/people/person")         # 3 persons
+            keys = server.subplan_cache.keys()
+            assert keys, "the selective path must be admitted"
+            # the one-row /site and /site/people prefixes were rejected
+            assert server.subplan_cache.stats.rejected >= 2
+
+    def test_hot_tiny_path_eventually_served_from_cache(self):
+        with QueryServer(threads=1) as server:
+            server.load_document_text(SMALL_XML, name="auction.xml")
+            for _ in range(3):
+                server.execute("/site")
+            assert server.subplan_cache.stats.hits >= 1

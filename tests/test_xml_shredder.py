@@ -16,8 +16,8 @@ class TestFigure4Encoding:
     def test_pre_size_level(self, store):
         doc = shred_document(FIGURE4_XML, "fig4.xml", store)
         # index 0 is the document node added by the shredder
-        assert doc.size[1:] == [9, 3, 2, 0, 0, 4, 0, 2, 0, 0]
-        assert doc.level[1:] == [1, 2, 3, 4, 4, 2, 3, 3, 4, 4]
+        assert list(doc.size[1:]) == [9, 3, 2, 0, 0, 4, 0, 2, 0, 0]
+        assert list(doc.level[1:]) == [1, 2, 3, 4, 4, 2, 3, 3, 4, 4]
 
     def test_post_order_recoverable(self, store):
         doc = shred_document(FIGURE4_XML, "fig4.xml", store)

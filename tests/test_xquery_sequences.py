@@ -22,7 +22,7 @@ class TestLifting:
             (1, 1, "a"), (1, 2, "b"), (2, 1, "a"), (2, 2, "b")]
 
     def test_unit_loop(self):
-        assert unit_loop().col("iter") == [1]
+        assert list(unit_loop().col("iter")) == [1]
 
     def test_singleton_per_iter_skips_missing(self):
         table = singleton_per_iter(make_loop([1, 2, 3]), {1: "x", 3: "z"})
@@ -35,7 +35,7 @@ class TestForBinding:
         sequence = sequence_table([(1, 1, "x1"), (1, 2, "x2"), (1, 3, "x3")])
         scope_map, inner_loop, variable, positions = for_binding(sequence)
         assert scope_map.to_rows(["outer", "inner"]) == [(1, 1), (1, 2), (1, 3)]
-        assert inner_loop.col("iter") == [1, 2, 3]
+        assert list(inner_loop.col("iter")) == [1, 2, 3]
         assert variable.to_rows(["iter", "pos", "item"]) == [
             (1, 1, "x1"), (2, 1, "x2"), (3, 1, "x3")]
         assert positions.col("item") == [1, 2, 3]
