@@ -37,7 +37,15 @@ this module is the equivalent pass over the logical plans built by
   (pure, free variables at most the context item) get a builder-
   independent structural fingerprint; the serving layer materializes
   their results *across queries* keyed on that fingerprint plus the
-  document-store schema version and the context root.
+  document-store schema version and the context root,
+* **step-chain fusion marking** — maximal chains of consecutive
+  predicate-free location steps are annotated so the executor can run
+  them as one surrogate-free pipeline (``axis_step_chain``): the paired
+  ``(iter, pre)`` int arrays of each staircase join feed the next join
+  directly and ``NodeRef`` boxing happens once, at the chain's end.
+  Chains never absorb shared (memoised) interior nodes; the executor
+  additionally refuses to fuse across cross-query-cacheable nodes when a
+  subplan cache is attached, so cache slots keep materialising.
 
 All analyses are side tables keyed by ``PlanNode.id``; only the FLWOR
 rules rebuild plan nodes (moving conjuncts, adding the ``join``/``joins``/
@@ -281,9 +289,21 @@ class OptimizedModulePlan:
     #: ``typed_columns`` ablation at optimize time); governs the
     #: representation annotations of :meth:`render`
     typed_columns: bool = True
+    #: step node id -> number of steps (>= 2) of the fusable chain *ending*
+    #: at that node — the executor fuses the chain when the node is reached
+    #: through ordinary compilation (``step_fusion`` ablation)
+    fused_chains: dict[int, int] = field(default_factory=dict)
+    #: step node ids absorbed as the interior of some fusable chain
+    #: (annotated ``(fused)`` in plan dumps; they never execute standalone
+    #: unless the executor trims the chain at a cache boundary)
+    fused_members: frozenset[int] = frozenset()
 
     def required_columns(self, node: PlanNode) -> frozenset[str]:
         return self.cols.get(node.id, FULL_COLUMNS)
+
+    def fused_chain_length(self, node: PlanNode) -> int:
+        """Steps in the fusable chain ending at ``node`` (0 = not fusable)."""
+        return self.fused_chains.get(node.id, 0)
 
     def is_shared(self, node: PlanNode) -> bool:
         return node.id in self.shared
@@ -323,6 +343,11 @@ class OptimizedModulePlan:
                 notes.append("(shared)")
             if node.id in self.cache_keys:
                 notes.append("(cacheable)")
+            if node.id in self.fused_chains \
+                    and node.id not in self.fused_members:
+                notes.append(f"(fused:{self.fused_chains[node.id]})")
+            elif node.id in self.fused_members:
+                notes.append("(fused)")
             if node.kind == "flwor" and node.p("join") is not None:
                 triples = node.p("joins") or (node.p("join"),)
                 estimates = {(e.clause, e.conjunct, e.side): e
@@ -374,6 +399,7 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
     subplan_sharing = getattr(options, "subplan_sharing", True)
     cross_query_caching = getattr(options, "cross_query_caching", True)
     typed_columns = getattr(options, "typed_columns", True)
+    step_fusion = getattr(options, "step_fusion", True)
 
     report = RewriteReport()
     free = FreeVariables(module_plan.functions)
@@ -456,12 +482,86 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
                 f"{len(cache_keys)} absolute-path subplans may be "
                 "materialized across queries")
 
+    # 5. step-chain fusion: maximal predicate-free step chains execute as
+    #    one surrogate-free staircase pipeline
+    fused_chains: dict[int, int] = {}
+    fused_members: frozenset[int] = frozenset()
+    if step_fusion:
+        fused_chains, fused_members = _fusable_chains(roots, shared)
+        maximal = [nid for nid in fused_chains if nid not in fused_members]
+        if maximal:
+            longest = max(fused_chains[nid] for nid in maximal)
+            report.fire(
+                "step-fusion",
+                f"{len(maximal)} step chains run surrogate-free "
+                f"(longest: {longest} steps)")
+
     return OptimizedModulePlan(body=body, globals=globals_,
                                functions=functions, cols=cols,
                                shared=shared, impure=impure, free=free,
                                report=report, join_estimates=join_estimates,
                                cache_keys=cache_keys,
-                               typed_columns=typed_columns)
+                               typed_columns=typed_columns,
+                               fused_chains=fused_chains,
+                               fused_members=fused_members)
+
+
+# --------------------------------------------------------------------------- #
+# step-chain fusion (surrogate-free path pipelines)
+# --------------------------------------------------------------------------- #
+def _fusable_chains(roots: list[PlanNode], shared: frozenset[int]
+                    ) -> tuple[dict[int, int], frozenset[int]]:
+    """Mark chains of consecutive predicate-free location steps for fusion.
+
+    A ``step`` node *absorbs* its context child when the child
+
+    * is itself a predicate-free ``step`` (predicates need the nested
+      iteration scope and positions of a materialised intermediate),
+    * is not marked shared — a memoised subplan must materialise so its
+      other consumers can reuse the result, and
+    * does not use the attribute axis — attribute rows live in a separate
+      table and cannot feed a further tree-node staircase join (the
+      attribute axis may still *end* a chain).
+
+    Every predicate-free step whose absorbable chain is at least two steps
+    long is recorded with that length; the executor fuses from whichever
+    chain end it actually reaches (a DAG node may be the interior of one
+    consumer's chain and the head of another's), trimming additionally at
+    cross-query-cacheable nodes when a subplan cache is attached.
+    """
+    lengths: dict[int, int] = {}
+
+    def absorbable(child: PlanNode) -> bool:
+        # compare the axis by enum value to avoid importing the staircase
+        # package (whose document types import this package)
+        return (child.kind == "step" and len(child.children) == 1
+                and child.id not in shared
+                and getattr(child.p("axis"), "value", None) != "attribute")
+
+    def down_length(node: PlanNode) -> int:
+        cached = lengths.get(node.id)
+        if cached is not None:
+            return cached
+        child = node.children[0]
+        result = 1 + down_length(child) if absorbable(child) else 1
+        lengths[node.id] = result
+        return result
+
+    chains: dict[int, int] = {}
+    members: set[int] = set()
+    for root in roots:
+        for node in root.walk():
+            if node.kind != "step" or len(node.children) != 1:
+                continue
+            length = down_length(node)
+            if length < 2:
+                continue
+            chains[node.id] = length
+            current = node
+            for _ in range(length - 1):
+                current = current.children[0]
+                members.add(current.id)
+    return chains, frozenset(members)
 
 
 # --------------------------------------------------------------------------- #

@@ -101,6 +101,29 @@ def sort(table: Table, columns: Sequence[str], *,
     return result
 
 
+def sort_dedup_pairs(primary: Sequence[int], secondary: Sequence[int]
+                     ) -> list[tuple[int, int]]:
+    """Sort paired int buffers lexicographically on ``(primary, secondary)``
+    and drop duplicate pairs.
+
+    This is the between-steps kernel of the fused location-step pipeline:
+    a staircase join delivers its result as paired ``(iter, pre)``
+    ``array('q')`` buffers, and the next join wants its context as
+    ``(pre, iter)`` pairs sorted on ``[pre, iter]``, duplicate free.  The
+    whole operation runs on plain machine integers (``zip``/``set``/
+    ``sorted`` are C-level loops over the raw buffers) — no node surrogate
+    is ever boxed.
+    """
+    count = len(primary)
+    if count <= 1:
+        result = list(zip(primary, secondary))
+    else:
+        result = sorted(set(zip(primary, secondary)))
+    explain.record("sort", "sort.int-pairs", count, len(result),
+                   detail="raw-buffer sort/dedup")
+    return result
+
+
 def refine_sort(table: Table, group_columns: Sequence[str],
                 minor_columns: Sequence[str], *,
                 use_properties: bool = True) -> Table:

@@ -54,8 +54,8 @@ def pairs_to_arrays(pairs: ResultPairs) -> "tuple[array, array]":
 # child axis — the detailed algorithm of Figure 6
 # --------------------------------------------------------------------------- #
 def ll_child_arrays(container: DocumentContainer, context: ContextPairs, *,
-                    stats: StaircaseStats | None = None
-                    ) -> "tuple[array, array]":
+                    stats: StaircaseStats | None = None,
+                    normalized: bool = False) -> "tuple[array, array]":
     """Loop-lifted staircase join for the ``child`` axis (Figure 6),
     producing the result as paired ``(iter, pre)`` int arrays.
 
@@ -65,10 +65,16 @@ def ll_child_arrays(container: DocumentContainer, context: ContextPairs, *,
     Children are produced by skipping over their subtrees; when the scan
     reaches the next context node the current context is suspended (pushed
     deeper) and resumed after the inner context's partition is finished.
+
+    ``normalized=True`` promises the context is already sorted on
+    ``[pre, iter]`` and duplicate free (the step assembly and the fused
+    chain pipeline normalize once per step) — the redundant sort/dedup
+    pass is skipped.
     """
     if stats is None:
         stats = StaircaseStats()
-    context = normalize_context(context)
+    if not normalized:
+        context = normalize_context(context)
     stats.contexts_seen += len(context)
     out_iters = array("q")
     out_pres = array("q")
@@ -134,8 +140,8 @@ def ll_child(container: DocumentContainer, context: ContextPairs, *,
 # --------------------------------------------------------------------------- #
 def ll_descendant_arrays(container: DocumentContainer, context: ContextPairs, *,
                          or_self: bool = False,
-                         stats: StaircaseStats | None = None
-                         ) -> "tuple[array, array]":
+                         stats: StaircaseStats | None = None,
+                         normalized: bool = False) -> "tuple[array, array]":
     """Loop-lifted descendant(-or-self) step as paired ``(iter, pre)`` arrays.
 
     The document region spanned by the context is scanned once; a stack of
@@ -150,7 +156,8 @@ def ll_descendant_arrays(container: DocumentContainer, context: ContextPairs, *,
     """
     if stats is None:
         stats = StaircaseStats()
-    context = normalize_context(context)
+    if not normalized:
+        context = normalize_context(context)
     stats.contexts_seen += len(context)
     out_iters = array("q")
     out_pres = array("q")
@@ -332,25 +339,30 @@ def ll_attribute(container: DocumentContainer, context: ContextPairs,
 # --------------------------------------------------------------------------- #
 def loop_lifted_step_arrays(container: DocumentContainer, context: ContextPairs,
                             axis: Axis, node_test: NodeTest | None = None, *,
-                            stats: StaircaseStats | None = None
-                            ) -> "tuple[array, array]":
+                            stats: StaircaseStats | None = None,
+                            normalized: bool = False) -> "tuple[array, array]":
     """Evaluate one location step for all iterations in a single pass,
     returning the result as paired ``(iter, pre)`` ``array('q')`` columns.
 
     The child and descendant axes run natively on arrays; the remaining
     axes convert their pair lists once.  This is the producer the typed
     executor consumes — step results feed the relational layer without
-    ever round-tripping through lists of Python tuples.
+    ever round-tripping through lists of Python tuples.  ``normalized=True``
+    promises the context is already sorted on ``[pre, iter]`` and duplicate
+    free (it is forwarded to the scan-axis kernels; the remaining axes
+    normalize internally either way).
     """
     if axis is Axis.ATTRIBUTE:
         raise StaircaseJoinError("attribute axis is handled by ll_attribute()")
     if axis is Axis.CHILD:
-        iters, pres = ll_child_arrays(container, context, stats=stats)
+        iters, pres = ll_child_arrays(container, context, stats=stats,
+                                      normalized=normalized)
     elif axis is Axis.DESCENDANT:
-        iters, pres = ll_descendant_arrays(container, context, stats=stats)
+        iters, pres = ll_descendant_arrays(container, context, stats=stats,
+                                           normalized=normalized)
     elif axis is Axis.DESCENDANT_OR_SELF:
         iters, pres = ll_descendant_arrays(container, context, or_self=True,
-                                           stats=stats)
+                                           stats=stats, normalized=normalized)
     else:
         iters, pres = pairs_to_arrays(
             _ll_other_axis(container, context, axis))

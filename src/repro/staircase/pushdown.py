@@ -39,7 +39,8 @@ def candidate_list(container: DocumentContainer, node_test: NodeTest) -> list[in
 
 def ll_child_pushdown(container: DocumentContainer, context: ContextPairs,
                       candidates: list[int], *,
-                      stats: StaircaseStats | None = None) -> ResultPairs:
+                      stats: StaircaseStats | None = None,
+                      normalized: bool = False) -> ResultPairs:
     """Loop-lifted child step against a sorted candidate list.
 
     For every (outermost-per-iteration) context node the candidates falling
@@ -48,7 +49,8 @@ def ll_child_pushdown(container: DocumentContainer, context: ContextPairs,
     """
     if stats is None:
         stats = StaircaseStats()
-    context = normalize_context(context)
+    if not normalized:
+        context = normalize_context(context)
     stats.contexts_seen += len(context)
     result: ResultPairs = []
     size = container.size
@@ -71,7 +73,8 @@ def ll_child_pushdown(container: DocumentContainer, context: ContextPairs,
 
 def ll_descendant_pushdown(container: DocumentContainer, context: ContextPairs,
                            candidates: list[int], *, or_self: bool = False,
-                           stats: StaircaseStats | None = None) -> ResultPairs:
+                           stats: StaircaseStats | None = None,
+                           normalized: bool = False) -> ResultPairs:
     """Loop-lifted descendant(-or-self) step against a sorted candidate list.
 
     Per iteration the context nodes are pruned to their outermost
@@ -81,7 +84,8 @@ def ll_descendant_pushdown(container: DocumentContainer, context: ContextPairs,
     """
     if stats is None:
         stats = StaircaseStats()
-    context = normalize_context(context)
+    if not normalized:
+        context = normalize_context(context)
     stats.contexts_seen += len(context)
     size = container.size
 
@@ -114,21 +118,27 @@ def ll_descendant_pushdown(container: DocumentContainer, context: ContextPairs,
 
 def loop_lifted_step_pushdown(container: DocumentContainer, context: ContextPairs,
                               axis: Axis, node_test: NodeTest | None, *,
-                              stats: StaircaseStats | None = None) -> ResultPairs | None:
+                              stats: StaircaseStats | None = None,
+                              normalized: bool = False) -> ResultPairs | None:
     """Pushdown-enabled location step.
 
     Returns ``None`` when pushdown is not applicable for the axis/node-test
     combination, in which case the caller should use the post-filter variant
-    (:func:`repro.staircase.loop_lifted.loop_lifted_step`).
+    (:func:`repro.staircase.loop_lifted.loop_lifted_step`).  As with the
+    plain array producers, ``normalized=True`` promises the context is
+    already sorted on ``[pre, iter]`` and duplicate free.
     """
     candidates = candidate_list(container, node_test) if node_test else None
     if candidates is None:
         return None
     if axis is Axis.CHILD:
-        return ll_child_pushdown(container, context, candidates, stats=stats)
+        return ll_child_pushdown(container, context, candidates, stats=stats,
+                                 normalized=normalized)
     if axis is Axis.DESCENDANT:
-        return ll_descendant_pushdown(container, context, candidates, stats=stats)
+        return ll_descendant_pushdown(container, context, candidates,
+                                      stats=stats, normalized=normalized)
     if axis is Axis.DESCENDANT_OR_SELF:
         return ll_descendant_pushdown(container, context, candidates,
-                                      or_self=True, stats=stats)
+                                      or_self=True, stats=stats,
+                                      normalized=normalized)
     return None

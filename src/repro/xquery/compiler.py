@@ -61,7 +61,7 @@ from .sequences import (back_map, empty_sequence, ensure_sequence_order,
                         lift_constant, lift_environment, lift_items,
                         make_loop, restrict_sequence, sequence_items,
                         singleton_per_iter, unit_loop)
-from .steps import StepOptions, axis_step
+from .steps import StepOptions, axis_step, axis_step_chain
 from .types import (atomize, effective_boolean_value, to_number, to_string)
 
 
@@ -850,8 +850,12 @@ class LoopLiftingCompiler:
         return singleton_per_iter(loop, values)
 
     def _exec_step(self, node: PlanNode, loop, env):
-        context = self.compile(node.children[0], loop, env)
         predicates = node.children[1:]
+        if not predicates:
+            chain = self._fused_chain(node)
+            if chain is not None:
+                return self._exec_fused_chain(chain, loop, env)
+        context = self.compile(node.children[0], loop, env)
         name = node.p("test_name")
         node_test = NodeTest(kind=node.p("test_kind"),
                              name=name if name not in (None, "*") else None)
@@ -874,6 +878,55 @@ class LoopLiftingCompiler:
                           use_properties=self.options.order_optimization)
         return self._nodes_in_document_order(merged,
                                              need_pos=self._needs_pos(node))
+
+    def _fused_chain(self, node: PlanNode) -> list[PlanNode] | None:
+        """The step nodes (head first) this node's fusable chain spans.
+
+        The rewrite analysis annotated the maximal absorbable chain length;
+        what remains dynamic is the cross-query cache: when a subplan cache
+        is attached, a cache-marked interior node must stay a chain
+        boundary — its materialised item sequence is shared with other
+        queries, so it is evaluated standalone (consulting and populating
+        its cache slot) and the chain is trimmed above it.  Returns ``None``
+        when fewer than two steps survive (fall back to the per-step path).
+        """
+        if self._plan is None or not getattr(self.options, "step_fusion", True):
+            return None
+        length = self._plan.fused_chain_length(node)
+        if length < 2:
+            return None
+        chain = [node]
+        current = node
+        while len(chain) < length:
+            deeper = current.children[0]
+            if self._subplan_cache is not None \
+                    and self._plan.cache_key(deeper) is not None:
+                break
+            chain.append(deeper)
+            current = deeper
+        if len(chain) < 2:
+            return None
+        return chain
+
+    def _exec_fused_chain(self, chain: list[PlanNode], loop, env):
+        """Run a chain of predicate-free steps as one surrogate-free
+        pipeline: the base context is compiled normally, then every
+        staircase join feeds the next one through raw ``(iter, pre)`` int
+        buffers and only the chain's end is assembled into an
+        ``iter|pos|item`` table (boxing at most once — never when the
+        required-columns analysis pruned ``item``)."""
+        head = chain[0]
+        context = self.compile(chain[-1].children[0], loop, env)
+        specs = []
+        for step in reversed(chain):
+            name = step.p("test_name")
+            specs.append((step.p("axis"),
+                          NodeTest(kind=step.p("test_kind"),
+                                   name=name if name not in (None, "*")
+                                   else None)))
+        return axis_step_chain(context, specs, options=self.step_options,
+                               stats=self.step_stats,
+                               need_item=self._needs_item(head))
 
     def _exec_filter(self, node: PlanNode, loop, env):
         base = self.compile(node.children[0], loop, env)

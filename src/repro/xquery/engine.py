@@ -87,6 +87,14 @@ class EngineOptions:
     #: ``False`` is the list-representation baseline of the vectorization
     #: ablation (storage stays typed; the executor fast paths are disabled)
     typed_columns: bool = True
+    #: step-chain fusion: consecutive predicate-free location steps over one
+    #: container execute as a single surrogate-free pipeline — the paired
+    #: ``(iter, pre)`` int arrays of each staircase join feed the next join
+    #: directly (sort/dedup on the raw buffers) and ``NodeRef`` surrogates
+    #: are boxed once at the chain's end, or never when dead-``item``
+    #: pruning applies.  ``False`` is the per-step baseline: every
+    #: intermediate step materialises its full ``iter|pos|item`` table
+    step_fusion: bool = True
 
     def replace(self, **changes: Any) -> "EngineOptions":
         return replace(self, **changes)

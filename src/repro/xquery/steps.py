@@ -20,16 +20,25 @@ arrays; the assembly sorts/dedups on plain integers and boxes a
 reads ``iter`` alone, e.g. ``count(path)``) no node surrogate is built at
 all: the result table carries a typed ``iter`` column next to constant
 ``pos``/``item`` stand-ins.
+
+``axis_step_chain`` is the **fused** evaluator for a whole chain of
+predicate-free steps: the paired ``(iter, pre)`` arrays of each staircase
+join feed the next join directly (sort/dedup on the raw int buffers via
+:func:`repro.relational.sorting.sort_dedup_pairs`), so no intermediate step
+ever boxes a surrogate or builds an ``iter|pos|item`` table — surrogates
+appear once, at the chain's end, or never under dead-``item`` pruning.
 """
 
 from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..errors import XQueryTypeError
 from ..relational.column import Column, IntColumn
 from ..relational.properties import TableProps
+from ..relational.sorting import sort_dedup_pairs
 from ..relational.table import Table
 from ..relational import explain
 from ..staircase.axes import Axis, NodeTest
@@ -65,27 +74,15 @@ def _wants_loop_lifted(axis: Axis, options: StepOptions) -> bool:
     return options.loop_lifted_other
 
 
-def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
-              options: StepOptions | None = None,
-              stats: StaircaseStats | None = None,
-              need_item: bool = True) -> Table:
-    """Evaluate one location step for every iteration of the context.
+def _split_context(context: Table, axis: Axis, node_test: NodeTest
+                   ) -> dict[int, tuple[DocumentContainer,
+                                        list[tuple[int, int]]]]:
+    """Split an ``iter|pos|item`` context per document container.
 
-    ``context`` is an ``iter|pos|item`` table whose items are
-    :class:`~repro.xml.document.NodeRef` values; non-node items raise a type
-    error (XPTY0019).  The result is an ``iter|pos|item`` table with the step
-    results per iteration in document order, duplicate free, ``pos``
-    renumbered 1..n per iteration.
-
-    ``need_item=False`` applies the dead-``item`` rewrite: callers proved no
-    consumer ever reads the node surrogates (only per-iteration
-    cardinalities matter), so the per-row ``NodeRef`` boxing is skipped and
-    ``item`` is a constant stand-in column.
+    Returns ``id(container) -> (container, [(pre, iter), ...])``; non-node
+    items raise a type error (XPTY0019), attribute items only participate
+    in self / parent steps.
     """
-    if options is None:
-        options = StepOptions()
-
-    # split the context per document container; remember attribute owners
     per_container: dict[int, tuple[DocumentContainer, list[tuple[int, int]]]] = {}
     for iteration, item in zip(context.col("iter"), context.col("item")):
         if not isinstance(item, NodeRef):
@@ -105,45 +102,58 @@ def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
             continue
         pairs = per_container.setdefault(id(container), (container, []))[1]
         pairs.append((item.pre, iteration))
+    return per_container
 
-    # one (iters, pres/attr-indexes) array pair per container
-    produced: list[tuple[DocumentContainer, array, array, bool]] = []
-    contexts_in = 0
-    for container, pairs in per_container.values():
-        pairs = sorted(set(pairs))
-        contexts_in += len(pairs)
-        if axis is Axis.ATTRIBUTE:
-            name = node_test.name if node_test.has_name else None
-            iters, attrs = pairs_to_arrays(ll_attribute(container, pairs, name))
-            explain.record("step", "step.attribute", len(pairs), len(iters))
-            produced.append((container, iters, attrs, True))
-            continue
 
-        arrays = None
-        if _wants_loop_lifted(axis, options):
-            if options.nametest_pushdown:
-                pushed = loop_lifted_step_pushdown(container, pairs, axis,
-                                                   node_test, stats=stats)
-                if pushed is not None:
-                    arrays = pairs_to_arrays(pushed)
-                    explain.record("step", "step.pushdown", len(pairs),
-                                   len(arrays[0]), detail=axis.value)
-            if arrays is None:
-                arrays = loop_lifted_step_arrays(container, pairs, axis,
-                                                 node_test, stats=stats)
-                explain.record("step", "step.loop-lifted", len(pairs),
-                               len(arrays[0]), detail=axis.value)
-        else:
-            arrays = iterative_step_arrays(container, pairs, axis, node_test,
-                                           stats=stats)
-            explain.record("step", "step.iterative", len(pairs),
-                           len(arrays[0]), detail=axis.value)
-        produced.append((container, arrays[0], arrays[1], False))
+def _produce_step(container: DocumentContainer, pairs: list[tuple[int, int]],
+                  axis: Axis, node_test: NodeTest, options: StepOptions,
+                  stats: StaircaseStats | None
+                  ) -> tuple[array, array, bool]:
+    """One staircase-join dispatch over a normalized per-container context.
 
-    # merge containers in document order per iteration, duplicate free.
-    # Rows are compared as plain int tuples — (iter, container order key,
-    # owner pre, attr flag, attr index) mirrors NodeRef.order_key() exactly,
-    # so the sort/dedup never touches a boxed node surrogate.
+    ``pairs`` must already be sorted on ``[pre, iter]`` and duplicate free.
+    Returns ``(iters, ranks, is_attr)`` where ``ranks`` are pre ranks for
+    tree-node axes and attribute-table row indexes for the attribute axis.
+    """
+    if axis is Axis.ATTRIBUTE:
+        name = node_test.name if node_test.has_name else None
+        iters, attrs = pairs_to_arrays(ll_attribute(container, pairs, name))
+        explain.record("step", "step.attribute", len(pairs), len(iters))
+        return iters, attrs, True
+
+    if _wants_loop_lifted(axis, options):
+        if options.nametest_pushdown:
+            pushed = loop_lifted_step_pushdown(container, pairs, axis,
+                                               node_test, stats=stats,
+                                               normalized=True)
+            if pushed is not None:
+                iters, pres = pairs_to_arrays(pushed)
+                explain.record("step", "step.pushdown", len(pairs),
+                               len(iters), detail=axis.value)
+                return iters, pres, False
+        iters, pres = loop_lifted_step_arrays(container, pairs, axis,
+                                              node_test, stats=stats,
+                                              normalized=True)
+        explain.record("step", "step.loop-lifted", len(pairs),
+                       len(iters), detail=axis.value)
+        return iters, pres, False
+
+    iters, pres = iterative_step_arrays(container, pairs, axis, node_test,
+                                        stats=stats)
+    explain.record("step", "step.iterative", len(pairs),
+                   len(iters), detail=axis.value)
+    return iters, pres, False
+
+
+def _assemble_result(produced: list[tuple[DocumentContainer, array, array, bool]],
+                     contexts_in: int, need_item: bool, detail: str) -> Table:
+    """Merge per-container ``(iter, rank)`` arrays into the result table.
+
+    Containers are merged in document order per iteration, duplicate free.
+    Rows are compared as plain int tuples — (iter, container order key,
+    owner pre, attr flag, attr index) mirrors ``NodeRef.order_key()``
+    exactly, so the sort/dedup never touches a boxed node surrogate.
+    """
     containers = [entry[0] for entry in produced]
     rows: list[tuple[int, int, int, int, int, int]] = []
     for cidx, (container, iters, ranks, is_attr) in enumerate(produced):
@@ -172,7 +182,7 @@ def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
         # surrogates are never built and — since consumers read iter
         # alone — a constant pos column stands in (no per-row numbering)
         explain.record("step", "step.item-pruned", contexts_in,
-                       len(iters_out), detail=axis.value)
+                       len(iters_out), detail=detail)
         table = Table([IntColumn("iter", iters_out),
                        Column.constant("pos", 1, len(iters_out)),
                        Column.constant("item", None, len(iters_out))],
@@ -194,9 +204,128 @@ def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
         container = containers[cidx]
         items.append(container.attribute(rank) if flag
                      else NodeRef(container, pre))
+    explain.record("step", "step.materialize", contexts_in,
+                   len(items), detail=detail)
 
     table = Table([IntColumn("iter", iters_out),
                    IntColumn("pos", positions),
                    Column("item", items)],
                   props=TableProps(order=("iter", "pos")))
     return table
+
+
+def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
+              options: StepOptions | None = None,
+              stats: StaircaseStats | None = None,
+              need_item: bool = True) -> Table:
+    """Evaluate one location step for every iteration of the context.
+
+    ``context`` is an ``iter|pos|item`` table whose items are
+    :class:`~repro.xml.document.NodeRef` values; non-node items raise a type
+    error (XPTY0019).  The result is an ``iter|pos|item`` table with the step
+    results per iteration in document order, duplicate free, ``pos``
+    renumbered 1..n per iteration.
+
+    ``need_item=False`` applies the dead-``item`` rewrite: callers proved no
+    consumer ever reads the node surrogates (only per-iteration
+    cardinalities matter), so the per-row ``NodeRef`` boxing is skipped and
+    ``item`` is a constant stand-in column.
+    """
+    if options is None:
+        options = StepOptions()
+
+    per_container = _split_context(context, axis, node_test)
+    produced: list[tuple[DocumentContainer, array, array, bool]] = []
+    contexts_in = 0
+    for container, pairs in per_container.values():
+        pairs = sorted(set(pairs))
+        contexts_in += len(pairs)
+        iters, ranks, is_attr = _produce_step(container, pairs, axis,
+                                              node_test, options, stats)
+        produced.append((container, iters, ranks, is_attr))
+
+    return _assemble_result(produced, contexts_in, need_item, axis.value)
+
+
+def _collapse_descendant_steps(steps: Sequence[tuple[Axis, NodeTest]]
+                               ) -> list[tuple[Axis, NodeTest]]:
+    """Collapse ``descendant-or-self::node()/child::T`` pairs into
+    ``descendant::T`` inside a fused chain.
+
+    The classic XPath equivalence holds on node *sets* — a child of some
+    descendant-or-self of ``s`` is exactly a descendant of ``s`` — and the
+    intermediate contexts of a fused chain are per-iteration sets by
+    construction, so collapsing never changes the chain's result.  It does
+    change the work profile radically: the ``//x`` parse shape no longer
+    enumerates the whole subtree as an intermediate context, it becomes a
+    single (usually name-index-backed) descendant join.
+    """
+    collapsed: list[tuple[Axis, NodeTest]] = []
+    index = 0
+    while index < len(steps):
+        axis, node_test = steps[index]
+        if (axis is Axis.DESCENDANT_OR_SELF and node_test.kind == "node"
+                and not node_test.has_name and index + 1 < len(steps)
+                and steps[index + 1][0] is Axis.CHILD):
+            collapsed.append((Axis.DESCENDANT, steps[index + 1][1]))
+            index += 2
+            continue
+        collapsed.append((axis, node_test))
+        index += 1
+    return collapsed
+
+
+def axis_step_chain(context: Table,
+                    steps: Sequence[tuple[Axis, NodeTest]], *,
+                    options: StepOptions | None = None,
+                    stats: StaircaseStats | None = None,
+                    need_item: bool = True) -> Table:
+    """Evaluate a fused chain of predicate-free location steps.
+
+    ``steps`` lists the chain bottom-most first (``(axis, node_test)``
+    pairs).  Per container, each staircase join's paired ``(iter, pre)``
+    int arrays are threaded straight into the next join — the between-steps
+    sort/dedup runs on the raw buffers — so no intermediate step builds an
+    ``iter|pos|item`` table or boxes a ``NodeRef``.  Only the chain's final
+    result is assembled (and boxed at most once; never under
+    ``need_item=False``), which is what makes whole path pipelines
+    surrogate-free.
+
+    Bit-identical to evaluating the steps one ``axis_step`` at a time: the
+    intermediate context *sets* are the same (the per-step path dedups on
+    the identical ``(iter, container, pre)`` int keys), only their
+    materialisation is skipped.  Only the last step may use the attribute
+    axis — attribute rows cannot feed a further tree-node step.
+    """
+    if options is None:
+        options = StepOptions()
+    if len(steps) < 2:
+        raise ValueError("axis_step_chain needs at least two steps")
+    if any(axis is Axis.ATTRIBUTE for axis, _ in steps[:-1]):
+        raise ValueError("the attribute axis can only end a fused chain")
+    steps = _collapse_descendant_steps(steps)
+
+    first_axis, first_test = steps[0]
+    per_container = _split_context(context, first_axis, first_test)
+    produced: list[tuple[DocumentContainer, array, array, bool]] = []
+    contexts_in = 0
+    for container, pairs in per_container.values():
+        pairs = sorted(set(pairs))
+        contexts_in += len(pairs)
+        iters = array("q")
+        ranks = array("q")
+        is_attr = False
+        for index, (axis, node_test) in enumerate(steps):
+            if index:
+                # thread the previous join's output into the next context:
+                # sort/dedup (iter, pre) -> [pre, iter] on the raw buffers
+                pairs = sort_dedup_pairs(ranks, iters)
+            iters, ranks, is_attr = _produce_step(container, pairs, axis,
+                                                  node_test, options, stats)
+        produced.append((container, iters, ranks, is_attr))
+
+    detail = ">".join(axis.value for axis, _ in steps)
+    total_out = sum(len(entry[1]) for entry in produced)
+    explain.record("step", "step.chain-fused", contexts_in, total_out,
+                   detail=detail)
+    return _assemble_result(produced, contexts_in, need_item, detail)

@@ -94,4 +94,5 @@ def all_options_off() -> EngineOptions:
         predicate_pushdown=False,
         cost_based_joins=False,
         cross_query_caching=False,
+        step_fusion=False,
     )

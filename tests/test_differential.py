@@ -217,6 +217,97 @@ def generated_queries() -> list[str]:
     return queries
 
 
+# --------------------------------------------------------------------------- #
+# the path-chain fuzzer (step-chain fusion differential coverage)
+# --------------------------------------------------------------------------- #
+CHAIN_SEED = 52601
+CHAIN_COUNT = 22
+CHAIN_COMBINATION_COUNT = 4
+
+
+class PathChainFuzzer:
+    """Seeded random 2–5-step path chains over the fixture vocabulary.
+
+    Chains mix child (``/``) and descendant (``//``) separators, element
+    name tests (including ``*`` and ``text()``), an optional final
+    attribute step, and optional positional / name predicates.  Predicates
+    deliberately appear on *interior* steps too: a predicate breaks the
+    fusable chain there, so the generated corpus exercises fused chains,
+    unfused chains and mixed fused/unfused segments of one path.
+    """
+
+    TAGS = ["site", "people", "person", "name", "profile", "interest",
+            "open_auctions", "open_auction", "bidder", "increase", "initial",
+            "current", "reserve", "itemref", "closed_auctions",
+            "closed_auction", "buyer", "price", "regions", "europe", "item",
+            "description"]
+    ATTRIBUTES = ["id", "income", "category", "person", "item"]
+    PREDICATES = ["[1]", "[2]", "[last()]", "[name]", "[@id]"]
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def _name_test(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.72:
+            return self.rng.choice(self.TAGS)
+        if roll < 0.88:
+            return "*"
+        return "text()"
+
+    def chain(self) -> str:
+        depth = self.rng.randint(2, 5)
+        parts: list[str] = []
+        for position in range(depth):
+            separator = "/" if self.rng.random() < 0.55 else "//"
+            is_last = position == depth - 1
+            if is_last and self.rng.random() < 0.25:
+                parts.append(f"{separator}@{self.rng.choice(self.ATTRIBUTES)}")
+                continue
+            step = self._name_test()
+            if step != "text()" and self.rng.random() < 0.25:
+                step += self.rng.choice(self.PREDICATES)
+            parts.append(separator + step)
+        query = "".join(parts)
+        if self.rng.random() < 0.35:
+            return f"count({query})"
+        return query
+
+
+def generated_chain_queries() -> list[str]:
+    fuzzer = PathChainFuzzer(CHAIN_SEED)
+    queries: list[str] = []
+    seen: set[str] = set()
+    while len(queries) < CHAIN_COUNT:
+        query = fuzzer.chain()
+        if query not in seen:
+            seen.add(query)
+            queries.append(query)
+    return queries
+
+
+def chain_configurations() -> list[tuple[str, EngineOptions]]:
+    """Fusion on/off plus sampled multi-switch combos that flip it."""
+    configurations: list[tuple[str, EngineOptions]] = [
+        ("default", EngineOptions()),
+        ("no-step_fusion", EngineOptions(step_fusion=False)),
+    ]
+    rng = random.Random(CHAIN_SEED + 1)
+    for index in range(CHAIN_COMBINATION_COUNT):
+        flipped = set(rng.sample(OPTION_NAMES,
+                                 rng.randint(2, len(OPTION_NAMES) - 1)))
+        # half the combos keep fusion on against other disabled rewrites,
+        # half turn it off together with them
+        if index % 2 == 0:
+            flipped.discard("step_fusion")
+        else:
+            flipped.add("step_fusion")
+        configurations.append(
+            (f"chain-combo-{index}",
+             EngineOptions(**{name: False for name in flipped})))
+    return configurations
+
+
 def option_configurations() -> list[tuple[str, EngineOptions]]:
     """Default + every single-switch ablation + sampled combinations."""
     configurations: list[tuple[str, EngineOptions]] = [
@@ -293,6 +384,67 @@ def test_typed_kernels_bit_identical_to_list_baseline(differential_engine,
         list_result = differential_engine.query(query, options=listy)
         assert typed_result.serialize() == list_result.serialize() \
             == baseline_results[query], query
+
+
+@pytest.fixture(scope="module")
+def chain_baseline_results(differential_engine) -> dict[str, str]:
+    """The oracle for the path-chain fuzzer corpus."""
+    oracle: dict[str, str] = {}
+    for query in generated_chain_queries():
+        items = run_baseline(differential_engine.store, query, "auction.xml")
+        oracle[query] = serialize_sequence(items)
+    return oracle
+
+
+@pytest.mark.parametrize("config_name,options", chain_configurations(),
+                         ids=[name for name, _ in chain_configurations()])
+def test_path_chains_against_baseline(differential_engine,
+                                      chain_baseline_results,
+                                      config_name, options):
+    for query in generated_chain_queries():
+        result = differential_engine.query(query, options=options)
+        assert result.serialize() == chain_baseline_results[query], (
+            f"configuration {config_name!r} diverged from the baseline "
+            f"interpreter on:\n{query}")
+
+
+def test_chain_fuzzer_is_deterministic():
+    assert generated_chain_queries() == generated_chain_queries()
+    assert len(generated_chain_queries()) == CHAIN_COUNT
+
+
+def test_chain_fuzzer_covers_the_chain_shapes():
+    queries = "\n".join(generated_chain_queries())
+    assert "//" in queries                    # descendant separators
+    assert "/@" in queries or "//@" in queries  # attribute final steps
+    assert "[last()]" in queries or "[1]" in queries or "[2]" in queries
+    assert "count(" in queries
+    assert "*" in queries
+
+
+def test_step_fusion_switch_is_ablated():
+    """``step_fusion`` must be part of the generic harness: OPTION_NAMES is
+    derived from the dataclass fields, so the single-switch configuration
+    and the sampled combinations pick it up automatically."""
+    assert "step_fusion" in OPTION_NAMES
+    names = [name for name, _ in option_configurations()]
+    assert "no-step_fusion" in names
+    chain_names = [name for name, _ in chain_configurations()]
+    assert "no-step_fusion" in chain_names
+
+
+def test_fused_chains_bit_identical_to_per_step_baseline(
+        differential_engine, chain_baseline_results):
+    """step_fusion=True (the default) and the per-step baseline must
+    serialize identically on every fuzzed chain — fusion may change *how*
+    a path runs, never its bytes."""
+    fused = EngineOptions(step_fusion=True)
+    per_step = EngineOptions(step_fusion=False)
+    for query in generated_chain_queries():
+        fused_result = differential_engine.query(query, options=fused)
+        per_step_result = differential_engine.query(query, options=per_step)
+        assert fused_result.serialize() == per_step_result.serialize() \
+            == chain_baseline_results[query], query
 
 
 def test_generator_covers_the_query_families():

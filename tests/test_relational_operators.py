@@ -23,7 +23,7 @@ class TestProjectAttach:
     def test_project_renames(self, left):
         result = ops.project(left, {"i": "iter"})
         assert result.column_names == ("i",)
-        assert result.col("i") == [1, 2, 3]
+        assert list(result.col("i")) == [1, 2, 3]
 
     def test_project_keeps_order_prefix(self, left):
         result = ops.project(left, {"iter": "iter", "item": "item"})
@@ -31,7 +31,7 @@ class TestProjectAttach:
 
     def test_attach_constant(self, left):
         result = ops.attach(left, "pos", 1)
-        assert result.col("pos") == [1, 1, 1]
+        assert list(result.col("pos")) == [1, 1, 1]
         assert result.col_props("pos").const
 
     def test_attach_existing_name_raises(self, left):
@@ -51,18 +51,18 @@ class TestProjectAttach:
 class TestSelect:
     def test_select_mask(self, left):
         result = ops.select_mask(left, [True, False, True])
-        assert result.col("item") == [10, 30]
+        assert list(result.col("item")) == [10, 30]
 
     def test_select_eq_positional_on_dense(self, left):
         with capture() as trace:
             result = ops.select_eq(left, "iter", 2)
-        assert result.col("item") == [20]
+        assert list(result.col("item")) == [20]
         assert trace.count("select.positional") == 1
 
     def test_select_eq_scan_when_requested(self, left):
         with capture() as trace:
             result = ops.select_eq(left, "item", 20, use_positional=False)
-        assert result.col("iter") == [2]
+        assert list(result.col("iter")) == [2]
         assert trace.count("select.scan") == 1
 
     def test_select_eq_positional_miss(self, left):
@@ -71,14 +71,14 @@ class TestSelect:
 
     def test_select_in(self, left):
         result = ops.select_in(left, "iter", [1, 3])
-        assert result.col("item") == [10, 30]
+        assert list(result.col("item")) == [10, 30]
 
 
 class TestJoins:
     def test_positional_join_on_dense_key(self, left, right):
         with capture() as trace:
             result = ops.join(left, right, "iter", "key")
-        assert result.col("val") == ["a", "b", "c"]
+        assert list(result.col("val")) == ["a", "b", "c"]
         assert trace.count("join.positional") == 1
 
     def test_hash_join_when_not_dense(self, left):
@@ -92,7 +92,7 @@ class TestJoins:
 
     def test_join_preserves_left_order(self, left, right):
         result = ops.join(left, right, "iter", "key", use_positional=False)
-        assert result.col("iter") == [1, 2, 3]
+        assert list(result.col("iter")) == [1, 2, 3]
         assert result.props.order == ("iter",)
 
     def test_cross_product_count(self, left, right):
@@ -132,20 +132,20 @@ class TestSetOperators:
     def test_difference(self):
         a = Table.from_dict({"k": [1, 2, 3]})
         b = Table.from_dict({"k": [2]})
-        assert ops.difference(a, b, ["k"]).col("k") == [1, 3]
+        assert list(ops.difference(a, b, ["k"]).col("k")) == [1, 3]
 
     def test_distinct_hash(self):
         table = Table.from_dict({"k": [3, 1, 3, 2, 1]})
         with capture() as trace:
             result = ops.distinct(table, ["k"])
-        assert result.col("k") == [3, 1, 2]
+        assert list(result.col("k")) == [3, 1, 2]
         assert trace.count("distinct.hash") == 1
 
     def test_distinct_merge_when_ordered(self):
         table = Table.from_dict({"k": [1, 1, 2, 3, 3]}, order=("k",))
         with capture() as trace:
             result = ops.distinct(table, ["k"])
-        assert result.col("k") == [1, 2, 3]
+        assert list(result.col("k")) == [1, 2, 3]
         assert trace.count("distinct.merge") == 1
 
 
@@ -155,20 +155,20 @@ class TestRownumAndAggregates:
                                 order=("g", "v"))
         with capture() as trace:
             result = ops.rownum(table, "rank", ("v",), partition="g")
-        assert result.col("rank") == [1, 2, 1, 2]
+        assert list(result.col("rank")) == [1, 2, 1, 2]
         assert trace.count("rownum.streaming") == 1
 
     def test_rownum_sorting_fallback(self):
         table = Table.from_dict({"g": [1, 2, 1, 2], "v": [2, 2, 1, 1]})
         with capture() as trace:
             result = ops.rownum(table, "rank", ("v",), partition="g")
-        assert result.col("rank") == [2, 2, 1, 1]
+        assert list(result.col("rank")) == [2, 2, 1, 1]
         assert trace.count("rownum.sorting") == 1
 
     def test_rownum_without_partition(self):
         table = Table.from_dict({"v": [30, 10, 20]})
         result = ops.rownum(table, "rank", ("v",))
-        assert result.col("rank") == [3, 1, 2]
+        assert list(result.col("rank")) == [3, 1, 2]
 
     def test_rownum_existing_column_raises(self):
         table = Table.from_dict({"v": [1]})
@@ -180,20 +180,20 @@ class TestRownumAndAggregates:
         result = ops.aggregate(table, "g", [("cnt", "count", None),
                                             ("total", "sum", "v"),
                                             ("mean", "avg", "v")])
-        assert result.col("g") == [1, 2]
-        assert result.col("cnt") == [2, 1]
-        assert result.col("total") == [30, 5]
-        assert result.col("mean") == [15, 5]
+        assert list(result.col("g")) == [1, 2]
+        assert list(result.col("cnt")) == [2, 1]
+        assert list(result.col("total")) == [30, 5]
+        assert list(result.col("mean")) == [15, 5]
 
     def test_aggregate_min_max_with_strings(self):
         table = Table.from_dict({"g": [1, 1], "v": ["5", "7"]})
         result = ops.aggregate(table, "g", [("lo", "min", "v"), ("hi", "max", "v")])
-        assert result.col("lo") == [5] and result.col("hi") == [7]
+        assert list(result.col("lo")) == [5] and list(result.col("hi")) == [7]
 
     def test_aggregate_global(self):
         table = Table.from_dict({"v": [1, 2, 3]})
         result = ops.aggregate(table, None, [("cnt", "count", None)])
-        assert result.col("cnt") == [3]
+        assert list(result.col("cnt")) == [3]
 
     def test_aggregate_unknown_kind(self):
         table = Table.from_dict({"g": [1], "v": [1]})
@@ -205,12 +205,12 @@ class TestKernels:
     def test_fun_applies_rowwise(self):
         table = Table.from_dict({"a": [1, 2], "b": [10, 20]})
         result = ops.fun(table, "c", lambda a, b: a + b, ["a", "b"])
-        assert result.col("c") == [11, 22]
+        assert list(result.col("c")) == [11, 22]
 
     def test_fun_with_constant_argument(self):
         table = Table.from_dict({"a": [1, 2]})
         result = ops.fun(table, "c", lambda a, k: a * k, ["a", ("const", 10)])
-        assert result.col("c") == [10, 20]
+        assert list(result.col("c")) == [10, 20]
 
     def test_compare_values_numeric_promotion(self):
         assert ops.compare_values("eq", "42", 42)

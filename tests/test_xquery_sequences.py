@@ -38,7 +38,7 @@ class TestForBinding:
         assert list(inner_loop.col("iter")) == [1, 2, 3]
         assert variable.to_rows(["iter", "pos", "item"]) == [
             (1, 1, "x1"), (2, 1, "x2"), (3, 1, "x3")]
-        assert positions.col("item") == [1, 2, 3]
+        assert list(positions.col("item")) == [1, 2, 3]
 
     def test_nested_iteration_cartesian_size(self):
         """Lifting (y1,y2) over an outer loop of 3 iterations gives 6 tuples."""
@@ -46,7 +46,7 @@ class TestForBinding:
         inner_sequence = lift_items(outer, ["y1", "y2"])
         scope_map, inner_loop, variable, _ = for_binding(inner_sequence)
         assert inner_loop.row_count == 6
-        assert variable.col("item") == ["y1", "y2"] * 3
+        assert list(variable.col("item")) == ["y1", "y2"] * 3
 
     def test_environment_lifting(self):
         outer = make_loop([1, 2])
@@ -94,7 +94,7 @@ class TestBackMap:
         order_keys = Table.from_dict({"iter": [1, 2, 3], "okey": [3, 1, 2]},
                                      order=("iter",))
         result = back_map(scope_map, body, order_keys=order_keys)
-        assert result.col("item") == ["b", "c", "a"]
+        assert list(result.col("item")) == ["b", "c", "a"]
 
     def test_back_map_skips_sort_with_properties(self):
         sequence = sequence_table([(1, 1, "a"), (2, 1, "b")])
@@ -110,7 +110,7 @@ class TestBackMap:
 class TestRestrict:
     def test_restrict_sequence(self):
         table = sequence_table([(1, 1, "a"), (2, 1, "b"), (3, 1, "c")])
-        assert restrict_sequence(table, [1, 3]).col("item") == ["a", "c"]
+        assert list(restrict_sequence(table, [1, 3]).col("item")) == ["a", "c"]
 
 
 @given(st.lists(st.integers(1, 4), min_size=0, max_size=20))
