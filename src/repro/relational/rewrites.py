@@ -297,6 +297,10 @@ class OptimizedModulePlan:
     #: (annotated ``(fused)`` in plan dumps; they never execute standalone
     #: unless the executor trims the chain at a cache boundary)
     fused_members: frozenset[int] = frozenset()
+    #: flwor node id -> per-clause cardinality estimates of its recognized
+    #: worst-case-optimal multi-way join (the product bounds the pairwise
+    #: intermediate the generic join avoids)
+    wcoj_estimates: dict[int, tuple[float, ...]] = field(default_factory=dict)
 
     def required_columns(self, node: PlanNode) -> frozenset[str]:
         return self.cols.get(node.id, FULL_COLUMNS)
@@ -348,6 +352,17 @@ class OptimizedModulePlan:
                 notes.append(f"(fused:{self.fused_chains[node.id]})")
             elif node.id in self.fused_members:
                 notes.append("(fused)")
+            if node.kind == "flwor" and node.p("wcoj"):
+                wcoj_triples = node.p("wcoj")
+                note = (f"(wcoj) {node.p('nclauses')}-way[conjuncts="
+                        + ",".join(str(triple[0]) for triple in wcoj_triples)
+                        + "]")
+                estimates = self.wcoj_estimates.get(node.id)
+                if estimates:
+                    note += (" est[rows~"
+                             + "x".join(f"{rows:.0f}" for rows in estimates)
+                             + "]")
+                notes.append(note)
             if node.kind == "flwor" and node.p("join") is not None:
                 triples = node.p("joins") or (node.p("join"),)
                 estimates = {(e.clause, e.conjunct, e.side): e
@@ -400,6 +415,7 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
     cross_query_caching = getattr(options, "cross_query_caching", True)
     typed_columns = getattr(options, "typed_columns", True)
     step_fusion = getattr(options, "step_fusion", True)
+    wcoj = getattr(options, "wcoj", True)
 
     report = RewriteReport()
     free = FreeVariables(module_plan.functions)
@@ -411,13 +427,15 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
     globals_ = list(module_plan.globals)
     functions = dict(module_plan.functions)
     join_estimates: dict[int, tuple[JoinEstimate, ...]] = {}
+    wcoj_estimates: dict[int, tuple[float, ...]] = {}
     if join_recognition or predicate_pushdown:
         rule = _FlworRewrites(module_plan.builder, free,
                               module_plan.global_names, report,
                               join_recognition=join_recognition,
                               predicate_pushdown=predicate_pushdown,
                               cost_based=cost_based_joins,
-                              estimator=estimator)
+                              estimator=estimator,
+                              wcoj=wcoj)
         body = rule.rewrite(body, frozenset())
         globals_ = [(name, rule.rewrite(plan, frozenset()))
                     for name, plan in globals_]
@@ -430,6 +448,7 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
             rebuilt_functions[name] = planned
         functions = rebuilt_functions
         join_estimates = rule.join_estimates
+        wcoj_estimates = rule.wcoj_estimates
         # free-variable sets of rebuilt nodes are recomputed lazily
         free = FreeVariables(functions)
 
@@ -503,7 +522,8 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
                                cache_keys=cache_keys,
                                typed_columns=typed_columns,
                                fused_chains=fused_chains,
-                               fused_members=fused_members)
+                               fused_members=fused_members,
+                               wcoj_estimates=wcoj_estimates)
 
 
 # --------------------------------------------------------------------------- #
@@ -658,7 +678,8 @@ class _FlworRewrites:
                  join_recognition: bool = True,
                  predicate_pushdown: bool = True,
                  cost_based: bool = True,
-                 estimator: CardinalityEstimator | None = None):
+                 estimator: CardinalityEstimator | None = None,
+                 wcoj: bool = True):
         self.builder = builder
         self.free = free
         self.global_names = global_names
@@ -669,7 +690,9 @@ class _FlworRewrites:
             else CardinalityEstimator()
         self.multi_join = join_recognition and cost_based
         self.cost_based = cost_based and self.estimator.available
+        self.wcoj = wcoj and join_recognition
         self.join_estimates: dict[int, tuple[JoinEstimate, ...]] = {}
+        self.wcoj_estimates: dict[int, tuple[float, ...]] = {}
         self._memo: dict[tuple[int, frozenset[str], float], PlanNode] = {}
 
     def rewrite(self, node: PlanNode, bound: frozenset[str],
@@ -766,6 +789,26 @@ class _FlworRewrites:
                     f"for ${clause.p('var')} evaluated as a value join "
                     f"(clause {clause_index}, where conjunct {conjunct_index})")
 
+        # 2b. worst-case-optimal multi-way joins: >= 3 loop-invariant for
+        #     clauses connected into one component by eq conjuncts execute
+        #     as a generic join (the pairwise annotations above stay — they
+        #     are the executor's fallback and the wcoj=False baseline)
+        wcoj_triples: tuple[tuple[int, int, int], ...] = ()
+        if already_annotated:
+            wcoj_triples = tuple(tuple(triple)
+                                 for triple in (node.p("wcoj") or ()))
+        elif self.wcoj and where is not None:
+            wcoj_triples = self._match_wcoj(new_clauses, bound_before,
+                                            flatten_conjuncts(where))
+            if wcoj_triples:
+                names = ", ".join(f"${clause.p('var')}"
+                                  for clause in new_clauses)
+                self.report.fire(
+                    "wcoj-recognition",
+                    f"{len(new_clauses)}-way value-join clique over {names} "
+                    f"evaluated worst-case-optimally "
+                    f"({len(wcoj_triples)} eq conjuncts)")
+
         # 3. cost model: estimates, build sides, execution order
         estimates: tuple[JoinEstimate, ...] = ()
         clause_order: tuple[int, ...] | None = None
@@ -793,11 +836,17 @@ class _FlworRewrites:
         if triples and not already_annotated:
             extra["join"] = triples[0]
             extra["joins"] = tuple(triples)
+        if wcoj_triples and not already_annotated:
+            extra["wcoj"] = wcoj_triples
         if clause_order is not None:
             extra["clause_order"] = clause_order
         new_node = self._rebuild(node, children, **extra)
         if estimates:
             self.join_estimates[new_node.id] = estimates
+        if wcoj_triples and self.cost_based:
+            self.wcoj_estimates[new_node.id] = tuple(
+                max(1.0, self.estimator.clause_estimate(clause))
+                for clause in new_clauses)
         return new_node
 
     # ------------------------------------------------------------------ #
@@ -904,6 +953,79 @@ class _FlworRewrites:
             if triples and not self.multi_join:
                 break
         return triples
+
+    def _match_wcoj(self, clauses: list[PlanNode],
+                    bound_before: list[frozenset[str]],
+                    conjuncts: list[PlanNode]
+                    ) -> tuple[tuple[int, int, int], ...]:
+        """``(conjunct, left clause, right clause)`` triples of a multi-way
+        value-join clique, or ``()`` when the FLWOR does not qualify.
+
+        Qualification: at least three plain ``for`` clauses (no ``let``, no
+        positional variables), every binding sequence loop-invariant (free
+        of enclosing bindings, sibling clause variables and the dynamic
+        position()/last() registers), and ``eq`` conjuncts whose sides each
+        depend on exactly one FLWOR variable connecting *all* clauses into
+        one component.  Unlike the pairwise rule, both comparison sides must
+        be loop-invariant given their item — they are evaluated once per
+        binding item, never per enclosing iteration.
+        """
+        if len(clauses) < 3:
+            return ()
+        allowed = self.global_names | {"."}
+        clause_of_var: dict[str, int] = {}
+        for clause in clauses:
+            if clause.kind != "for" or clause.p("posvar") is not None:
+                return ()
+            clause_of_var[clause.p("var")] = len(clause_of_var)
+        if len(clause_of_var) != len(clauses):
+            return ()                    # duplicate variable names shadow
+        flwor_vars = frozenset(clause_of_var)
+        for index, clause in enumerate(clauses):
+            sequence_free = frozenset().union(
+                *(self.free(child) for child in clause.children)) \
+                - {clause.p("var")}
+            if sequence_free & (bound_before[index] | flwor_vars
+                                | {"fs:position", "fs:last"}):
+                return ()
+            if sequence_free - allowed:
+                return ()
+        triples: list[tuple[int, int, int]] = []
+        neighbours: dict[int, set[int]] = {index: set()
+                                           for index in range(len(clauses))}
+        for conjunct_index, conjunct in enumerate(conjuncts):
+            if conjunct.kind != "cmp-general" or conjunct.p("op") != "eq":
+                continue
+            left_free = self.free(conjunct.children[0])
+            right_free = self.free(conjunct.children[1])
+            left_vars = left_free & flwor_vars
+            right_vars = right_free & flwor_vars
+            if len(left_vars) != 1 or len(right_vars) != 1:
+                continue
+            left_var = next(iter(left_vars))
+            right_var = next(iter(right_vars))
+            if left_var == right_var:
+                continue
+            if (left_free - {left_var}) - allowed \
+                    or (right_free - {right_var}) - allowed:
+                continue
+            left_clause = clause_of_var[left_var]
+            right_clause = clause_of_var[right_var]
+            triples.append((conjunct_index, left_clause, right_clause))
+            neighbours[left_clause].add(right_clause)
+            neighbours[right_clause].add(left_clause)
+        if not triples:
+            return ()
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            for reached in neighbours[frontier.pop()]:
+                if reached not in seen:
+                    seen.add(reached)
+                    frontier.append(reached)
+        if len(seen) != len(clauses):
+            return ()
+        return tuple(triples)
 
     # ------------------------------------------------------------------ #
     # cost model

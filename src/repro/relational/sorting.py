@@ -124,6 +124,91 @@ def sort_dedup_pairs(primary: Sequence[int], secondary: Sequence[int]
     return result
 
 
+def gallop(buffer: Sequence[int], target: int, lo: int = 0,
+           hi: int | None = None) -> int:
+    """First index in ``buffer[lo:hi]`` whose value is ``>= target``.
+
+    The probe distance doubles from ``lo`` (galloping / exponential search),
+    then a binary search closes in on the boundary — O(log d) for a match
+    d positions away, which is what makes leapfrogging two sorted join
+    columns output-sensitive instead of linear in the inputs.
+    """
+    if hi is None:
+        hi = len(buffer)
+    if lo >= hi or buffer[lo] >= target:
+        return lo
+    # invariant: buffer[lo + step/2] < target
+    step = 1
+    while lo + step < hi and buffer[lo + step] < target:
+        step <<= 1
+    low = lo + (step >> 1)
+    high = min(lo + step, hi)
+    while low < high:
+        mid = (low + high) >> 1
+        if buffer[mid] < target:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def gallop_intersect(left: Sequence[int], right: Sequence[int]) -> list[int]:
+    """Distinct common values of two sorted int buffers (leapfrog).
+
+    Both inputs must be sorted ascending; duplicates are allowed and
+    collapse to one occurrence in the output.  Each side advances by
+    galloping to the other side's current value, so runtime is proportional
+    to the number of "turns" the leapfrog takes, not the buffer lengths.
+    """
+    result: list[int] = []
+    i, j = 0, 0
+    nleft, nright = len(left), len(right)
+    while i < nleft and j < nright:
+        lv, rv = left[i], right[j]
+        if lv == rv:
+            result.append(lv)
+            i = gallop(left, lv + 1, i + 1)
+            j = gallop(right, rv + 1, j + 1)
+        elif lv < rv:
+            i = gallop(left, rv, i + 1)
+        else:
+            j = gallop(right, lv, j + 1)
+    return result
+
+
+def intersect_runs(left: Sequence[int], right: Sequence[int]
+                   ) -> list[tuple[int, int, int, int, int]]:
+    """Align the equal-value runs of two sorted int buffers.
+
+    Returns one ``(value, left_start, left_end, right_start, right_end)``
+    tuple per value present in *both* buffers, with half-open index ranges
+    delimiting the run of that value on each side.  This is the leapfrog of
+    :func:`gallop_intersect` keeping run boundaries — the building block of
+    both the WCOJ per-attribute intersection and the sort-based existential
+    equi-join (run detection replaces dict buckets).
+    """
+    result: list[tuple[int, int, int, int, int]] = []
+    i, j = 0, 0
+    nleft, nright = len(left), len(right)
+    while i < nleft and j < nright:
+        lv, rv = left[i], right[j]
+        if lv == rv:
+            left_end = gallop(left, lv + 1, i + 1)
+            right_end = gallop(right, rv + 1, j + 1)
+            result.append((lv, i, left_end, j, right_end))
+            i, j = left_end, right_end
+        elif lv < rv:
+            i = gallop(left, rv, i + 1)
+        else:
+            j = gallop(right, lv, j + 1)
+    return result
+
+
+def argsort_ints(values: Sequence[int]) -> list[int]:
+    """Positions that sort an int buffer ascending (stable)."""
+    return sorted(range(len(values)), key=values.__getitem__)
+
+
 def refine_sort(table: Table, group_columns: Sequence[str],
                 minor_columns: Sequence[str], *,
                 use_properties: bool = True) -> Table:

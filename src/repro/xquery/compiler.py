@@ -47,6 +47,7 @@ from ..relational.plan import PlanNode
 from ..relational.properties import TableProps
 from ..relational.rewrites import (JoinEstimate, OptimizedModulePlan,
                                    flatten_conjuncts, optimize)
+from ..relational import wcoj
 from ..relational.sorting import sort
 from ..relational.table import Table
 from ..staircase.axes import NodeTest
@@ -54,7 +55,8 @@ from ..staircase.iterative import StaircaseStats
 from ..xml.document import NodeRef
 from . import ast, functions
 from .constructors import construct_element, construct_text
-from .joins import existential_compare, existential_join, flip_comparison
+from .joins import (existential_compare, existential_join, flip_comparison,
+                    is_numeric_value)
 from .planner import PlannedFunction, plan_module
 from .sequences import (back_map, empty_sequence, ensure_sequence_order,
                         for_binding, from_iter_items, items_by_iteration,
@@ -429,82 +431,96 @@ class LoopLiftingCompiler:
         if where is not None:
             conjuncts = flatten_conjuncts(where)
 
-        join_by_clause: dict[int, tuple[int, int, int]] = {}
-        estimate_by_clause: dict[int, JoinEstimate] = {}
-        if self.options.join_recognition and node.p("join") is not None:
-            triples = node.p("joins") or (node.p("join"),)
-            join_by_clause = {triple[0]: tuple(triple) for triple in triples}
-            if self._plan is not None:
-                for estimate in self._plan.join_estimates.get(node.id, ()):
-                    estimate_by_clause[estimate.clause] = estimate
+        # worst-case-optimal multi-way join: the annotated clique, when
+        # the dynamic context checks hold, evaluates as one generic join
+        # and consumes every participating clause and conjunct at once
+        wcoj_state = None
+        wcoj_spec = node.p("wcoj")
+        if wcoj_spec is not None and self.options.join_recognition \
+                and getattr(self.options, "wcoj", True):
+            wcoj_state = self._execute_wcoj(clauses, conjuncts, wcoj_spec,
+                                            loop, env)
+        if wcoj_state is not None:
+            tuple_map, current_loop, current_env, consumed_conjuncts = \
+                wcoj_state
+        else:
+            join_by_clause: dict[int, tuple[int, int, int]] = {}
+            estimate_by_clause: dict[int, JoinEstimate] = {}
+            if self.options.join_recognition and node.p("join") is not None:
+                triples = node.p("joins") or (node.p("join"),)
+                join_by_clause = {triple[0]: tuple(triple) for triple in triples}
+                if self._plan is not None:
+                    for estimate in self._plan.join_estimates.get(node.id, ()):
+                        estimate_by_clause[estimate.clause] = estimate
 
-        # the cost-based execution order of the clauses (join clauses float
-        # smallest-build-first); the tuple order is restored afterwards
-        schedule = tuple(range(nclauses))
-        if join_by_clause and self.options.cost_based_joins:
-            annotated = node.p("clause_order")
-            if annotated is not None \
-                    and sorted(annotated) == list(range(nclauses)):
-                schedule = tuple(annotated)
-        reordered = schedule != tuple(range(nclauses))
+            # the cost-based execution order of the clauses (join clauses float
+            # smallest-build-first); the tuple order is restored afterwards
+            schedule = tuple(range(nclauses))
+            if join_by_clause and self.options.cost_based_joins:
+                annotated = node.p("clause_order")
+                if annotated is not None \
+                        and sorted(annotated) == list(range(nclauses)):
+                    schedule = tuple(annotated)
+            reordered = schedule != tuple(range(nclauses))
 
-        current_loop = loop
-        current_env = dict(env)
-        tuple_map = None                    # outer -> inner, composed
-        consumed_conjuncts: set[int] = set()
-        # per current iteration: which item ordinal each clause contributed
-        # (only tracked when the syntactic tuple order must be restored)
-        clause_keys: dict[int, dict[int, int]] | None = \
-            {iteration: {} for iteration in loop.col("iter")} \
-            if reordered else None
+            current_loop = loop
+            current_env = dict(env)
+            tuple_map = None                    # outer -> inner, composed
+            consumed_conjuncts: set[int] = set()
+            # per current iteration: which item ordinal each clause contributed
+            # (only tracked when the syntactic tuple order must be restored)
+            clause_keys: dict[int, dict[int, int]] | None = \
+                {iteration: {} for iteration in loop.col("iter")} \
+                if reordered else None
 
-        for index in schedule:
-            clause = clauses[index]
-            if clause.kind == "let":
-                current_env[clause.p("var")] = self.compile(
-                    clause.children[0], current_loop, current_env)
-                continue
-
-            triple = join_by_clause.get(index)
-            if triple is not None:
-                join_plan = self._execute_join(
-                    clause, conjuncts[triple[1]], triple[2], current_loop,
-                    current_env, estimate=estimate_by_clause.get(index))
-                if join_plan is not None:
-                    scope_map, inner_loop, bindings, ranks = join_plan
-                    current_env = lift_environment(current_env, scope_map)
-                    current_env.update(bindings)
-                    tuple_map = self._compose_maps(tuple_map, scope_map)
-                    if clause_keys is not None:
-                        clause_keys = self._advance_clause_keys(
-                            clause_keys, index, scope_map, ranks)
-                    current_loop = inner_loop
-                    consumed_conjuncts.add(triple[1])
+            for index in schedule:
+                clause = clauses[index]
+                if clause.kind == "let":
+                    current_env[clause.p("var")] = self.compile(
+                        clause.children[0], current_loop, current_env)
                     continue
 
-            sequence = self.compile(clause.children[0], current_loop,
-                                    current_env)
-            if len(clause.children) > 1:
-                sequence = self._filter_binding(
-                    sequence, clause.p("var"), clause.children[1:],
-                    current_env)
-            scope_map, inner_loop, variable, positions = for_binding(
-                sequence, use_properties=self.options.order_optimization)
-            current_env = lift_environment(current_env, scope_map)
-            current_env[clause.p("var")] = variable
-            if clause.p("posvar"):
-                current_env[clause.p("posvar")] = positions
-            tuple_map = self._compose_maps(tuple_map, scope_map)
-            if clause_keys is not None:
-                clause_keys = self._advance_clause_keys(
-                    clause_keys, index, scope_map,
-                    list(positions.col("item")))
-            current_loop = inner_loop
+                triple = join_by_clause.get(index)
+                if triple is not None:
+                    join_plan = self._execute_join(
+                        clause, conjuncts[triple[1]], triple[2], current_loop,
+                        current_env, estimate=estimate_by_clause.get(index))
+                    if join_plan is not None:
+                        scope_map, inner_loop, bindings, ranks = join_plan
+                        current_env = lift_environment(current_env, scope_map)
+                        current_env.update(bindings)
+                        tuple_map = self._compose_maps(tuple_map, scope_map)
+                        if clause_keys is not None:
+                            clause_keys = self._advance_clause_keys(
+                                clause_keys, index, scope_map, ranks)
+                        current_loop = inner_loop
+                        consumed_conjuncts.add(triple[1])
+                        continue
 
-        if reordered and tuple_map is not None:
-            current_loop, current_env, tuple_map = self._restore_clause_order(
-                loop, current_loop, current_env, tuple_map, clause_keys,
-                nclauses)
+                sequence = self.compile(clause.children[0], current_loop,
+                                        current_env)
+                if len(clause.children) > 1:
+                    sequence = self._filter_binding(
+                        sequence, clause.p("var"), clause.children[1:],
+                        current_env)
+                scope_map, inner_loop, variable, positions = for_binding(
+                    sequence, use_properties=self.options.order_optimization)
+                current_env = lift_environment(current_env, scope_map)
+                current_env[clause.p("var")] = variable
+                if clause.p("posvar"):
+                    current_env[clause.p("posvar")] = positions
+                tuple_map = self._compose_maps(tuple_map, scope_map)
+                if clause_keys is not None:
+                    clause_keys = self._advance_clause_keys(
+                        clause_keys, index, scope_map,
+                        list(positions.col("item")))
+                current_loop = inner_loop
+
+            if reordered and tuple_map is not None:
+                current_loop, current_env, tuple_map = \
+                    self._restore_clause_order(
+                        loop, current_loop, current_env, tuple_map,
+                        clause_keys, nclauses)
 
         remaining = [conjunct for index, conjunct in enumerate(conjuncts)
                      if index not in consumed_conjuncts]
@@ -800,6 +816,145 @@ class LoopLiftingCompiler:
         ], props=TableProps(order=("iter", "pos")))}
         ranks = [pair[1] for pair in pairs]
         return scope_map, inner_loop, bindings, ranks
+
+    # -- worst-case-optimal multi-way joins ------------------------------------ #
+    def _execute_wcoj(self, clauses, conjuncts, spec, current_loop, env):
+        """Evaluate an optimizer-annotated multi-way value-join clique as
+        one generic join (worst-case optimal).
+
+        Every clause's loop-invariant binding sequence is evaluated once;
+        each ``eq`` conjunct becomes one join attribute whose two sides are
+        encoded into sorted ``(key, item)`` int buffers following the
+        per-pair promotion rules (genuine numeric vs. numeric cast vs.
+        string).  The generic join narrows candidate item sets attribute by
+        attribute, so no pairwise intermediate is ever materialised; the
+        result tuples are ordered syntactically (clause 0 major) and
+        replicated per enclosing iteration — bit-identical to the
+        nested-loop tuple order.  Returns ``None`` to fall back to the
+        pairwise join plan (context roots differ between iterations).
+        """
+        consumed = {triple[0] for triple in spec}
+        if current_loop.row_count == 0:
+            # no enclosing iterations: nothing may run (the binding
+            # sequences could be context-dependent), nothing is bound
+            empty_map = Table.from_dict({"outer": [], "inner": []},
+                                        order=("outer", "inner"))
+            lifted = lift_environment(dict(env), empty_map)
+            lifted.update({clause.p("var"): empty_sequence()
+                           for clause in clauses})
+            return empty_map, make_loop([]), lifted, consumed
+
+        constant_context = None
+        if "." in env:
+            roots = {(id(item.container), item.container.root_pre(item.pre))
+                     for item in env["."].col("item")
+                     if isinstance(item, NodeRef)}
+            if len(roots) > 1:
+                return None
+            for item in env["."].col("item"):
+                if isinstance(item, NodeRef):
+                    constant_context = NodeRef(
+                        item.container, item.container.root_pre(item.pre))
+                    break
+
+        # 1. every loop-invariant binding sequence runs exactly once
+        #    (pushed-down predicates shrink it before the join sees it)
+        items_per_clause: list[list[Any]] = []
+        for clause in clauses:
+            base_loop = unit_loop()
+            base_env: dict[str, Any] = {}
+            if constant_context is not None:
+                base_env["."] = lift_constant(base_loop, constant_context)
+            sequence = self.compile(clause.children[0], base_loop, base_env)
+            if len(clause.children) > 1:
+                sequence = self._filter_binding(sequence, clause.p("var"),
+                                                clause.children[1:], base_env)
+            items_per_clause.append(sequence_items(sequence, 1))
+
+        # 2. one join attribute per conjunct: both sides evaluated per
+        #    binding item, values typed and interned into sorted buffers
+        attributes = []
+        for conjunct_index, left_clause, right_clause in spec:
+            conjunct = conjuncts[conjunct_index]
+            attribute = wcoj.JoinAttribute(left_clause, right_clause)
+            for clause_index, side in ((left_clause, 0), (right_clause, 1)):
+                values = self._wcoj_side_values(
+                    clauses[clause_index], conjunct.children[side],
+                    items_per_clause[clause_index], constant_context)
+                attribute.add_side(self._wcoj_encode(attribute, values))
+            attributes.append(attribute)
+
+        tuples = wcoj.generic_join(
+            [len(items) for items in items_per_clause], attributes)
+        ordered = sorted(tuples)
+        explain.record("plan", "plan.wcoj",
+                       sum(len(items) for items in items_per_clause),
+                       len(ordered), detail=f"{len(clauses)}-way generic join")
+
+        # 3. scope map, inner loop and bindings in syntactic tuple order
+        outer_iters = sorted(current_loop.col("iter"))
+        total = len(outer_iters) * len(ordered)
+        scope_map = Table([
+            Column("outer", [outer for outer in outer_iters
+                             for _ in ordered]),
+            Column.dense("inner", total, base=1),
+        ], props=TableProps(order=("outer", "inner")))
+        inner_loop = make_loop(range(1, total + 1))
+        current_env = lift_environment(dict(env), scope_map)
+        for index, clause in enumerate(clauses):
+            items = items_per_clause[index]
+            bound = [items[combo[index]] for _ in outer_iters
+                     for combo in ordered]
+            current_env[clause.p("var")] = Table([
+                Column.dense("iter", total, base=1),
+                Column.constant("pos", 1, total),
+                Column("item", bound),
+            ], props=TableProps(order=("iter", "pos")))
+        return scope_map, inner_loop, current_env, consumed
+
+    def _wcoj_side_values(self, clause, side_node, items, constant_context):
+        """One comparison side evaluated per binding item: a list (one entry
+        per item, in item order) of the side's atomized values."""
+        if not items:
+            return []
+        item_loop = make_loop(range(1, len(items) + 1))
+        item_env = {clause.p("var"): Table([
+            Column.dense("iter", len(items), base=1),
+            Column.constant("pos", 1, len(items)),
+            Column("item", list(items)),
+        ], props=TableProps(order=("iter", "pos")))}
+        if constant_context is not None:
+            item_env["."] = lift_constant(item_loop, constant_context)
+        grouped = items_by_iteration(
+            self.compile(side_node, item_loop, item_env))
+        return [[atomize(item) for item in grouped.get(ordinal, [])]
+                for ordinal in range(1, len(items) + 1)]
+
+    def _wcoj_encode(self, attribute, values_per_item):
+        """Encode one side's values as ``(key_id, item, genuine)`` rows per
+        the per-pair typing rules: a genuinely numeric value joins through
+        its numeric key; any other value joins through its string key and —
+        when castable — additionally through its numeric *cast*, which only
+        pairs with genuinely numeric partners (never cast-to-cast)."""
+        rows = []
+        for item_index, values in enumerate(values_per_item):
+            seen = set()
+            for value in values:
+                if is_numeric_value(value):
+                    encoded = [(("n", value), True)]
+                else:
+                    encoded = [(("s", str(value)), False)]
+                    number = to_number(value)
+                    if number is not None:
+                        encoded.append((("n", number), False))
+                for key, genuine in encoded:
+                    if (key, genuine) in seen:
+                        continue
+                    seen.add((key, genuine))
+                    rows.append((
+                        attribute.intern(key, numeric=key[0] == "n"),
+                        item_index, genuine))
+        return rows
 
     # -- quantified expressions ------------------------------------------------ #
     def _exec_quantified(self, node: PlanNode, loop, env):

@@ -95,6 +95,14 @@ class EngineOptions:
     #: pruning applies.  ``False`` is the per-step baseline: every
     #: intermediate step materialises its full ``iter|pos|item`` table
     step_fusion: bool = True
+    #: worst-case-optimal multi-way joins: FLWOR blocks whose >= 3 for
+    #: clauses are connected by loop-invariant value-join conjuncts execute
+    #: as one generic join — per attribute, sorted ``(key, item)`` int
+    #: buffers are intersected with galloping, so the intermediate state is
+    #: proportional to the true result instead of the pairwise blow-up.
+    #: ``False`` restores the pairwise join schedule of the cost-based
+    #: planner bit-identically
+    wcoj: bool = True
 
     def replace(self, **changes: Any) -> "EngineOptions":
         return replace(self, **changes)

@@ -38,6 +38,7 @@ from ..relational import operators as ops
 from ..relational.column import Column
 from ..relational.properties import TableProps
 from ..relational.table import Table
+from ..relational.wcoj import eq_join_pairs
 from .types import atomize, to_number
 
 
@@ -58,6 +59,10 @@ def flip_comparison(op: str) -> str:
 
 def _is_numeric(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+#: the per-pair typing predicate, shared with the WCOJ attribute encoding
+is_numeric_value = _is_numeric
 
 
 def _partition_rows(rows: list[tuple[int, Any]]
@@ -168,6 +173,10 @@ def _join_one_domain(left_rows: list[tuple[int, Any]],
                      right_rows: list[tuple[int, Any]],
                      op: str, chosen: str) -> list[tuple[int, int]]:
     """One typed-domain join (all values homogeneous and comparable)."""
+    if chosen == "dedup" and op == "eq":
+        # the vectorized path: intern values into sorted int buffers and
+        # align equal-value runs instead of dict buckets + distinct
+        return eq_join_pairs(left_rows, right_rows)
     left_table = _value_table(left_rows, "iter1")
     right_table = _value_table(right_rows, "iter2")
 

@@ -95,4 +95,5 @@ def all_options_off() -> EngineOptions:
         cost_based_joins=False,
         cross_query_caching=False,
         step_fusion=False,
+        wcoj=False,
     )

@@ -13,7 +13,7 @@ from repro.xmark import XMARK_QUERIES, xmark_query
 
 
 REWRITE_FLAGS = ["projection_pushdown", "subplan_sharing",
-                 "predicate_pushdown", "cost_based_joins"]
+                 "predicate_pushdown", "cost_based_joins", "wcoj"]
 
 
 def run_serialized(engine, number, options=None):
@@ -49,6 +49,8 @@ def test_all_rewrite_switches_off_preserve_xmark_results(xmark_engine,
     ("predicate_pushdown", "cost_based_joins"),
     ("predicate_pushdown", "projection_pushdown"),
     ("cost_based_joins", "subplan_sharing"),
+    ("cost_based_joins", "wcoj"),
+    ("join_recognition", "wcoj"),
 ])
 def test_pairwise_switches_off_preserve_xmark_results(xmark_engine,
                                                       reference_results, pair):

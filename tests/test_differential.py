@@ -308,6 +308,122 @@ def chain_configurations() -> list[tuple[str, EngineOptions]]:
     return configurations
 
 
+# --------------------------------------------------------------------------- #
+# the multi-join fuzzer (worst-case-optimal join differential coverage)
+# --------------------------------------------------------------------------- #
+JOIN_SEED = 60301
+JOIN_COUNT = 16
+JOIN_COMBINATION_COUNT = 4
+JOIN_COUNT_LONG = 48
+
+
+class MultiJoinFuzzer:
+    """Seeded random multi-``for`` FLWOR value joins (2–4 variables).
+
+    Every variable binds a loop-invariant absolute path (including an
+    always-empty one); ``eq`` conjuncts connect all variables into one
+    component, so the 3- and 4-way shapes qualify for the WCOJ rewrite.
+    Conjunct sides draw from numeric text, string and deliberately *mixed*
+    domains (attribute vs. numeric text), and the fixture data carries
+    duplicate join values (two closed auctions share a buyer) — exactly the
+    per-pair-typing and dedup corners where join strategies historically
+    diverged.  An extra random conjunct occasionally closes a cycle
+    (triangle shapes).
+    """
+
+    SOURCES = [
+        ("/site/people/person",
+         [("@id", "str"), ("name/text()", "str"),
+          ("profile/@income", "num"),
+          ("profile/interest/@category", "str")]),
+        ("/site/closed_auctions/closed_auction",
+         [("buyer/@person", "str"), ("itemref/@item", "str"),
+          ("price/text()", "num")]),
+        ("/site/open_auctions/open_auction",
+         [("@id", "str"), ("itemref/@item", "str"),
+          ("initial/text()", "num"), ("current/text()", "num"),
+          ("bidder/increase/text()", "num")]),
+        ("/site/regions/europe/item",
+         [("@id", "str"), ("name/text()", "str")]),
+        ("/site/regions/africa/item",           # always-empty input
+         [("@id", "str")]),
+    ]
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def _attribute(self, source, domain: str | None = None) -> str:
+        pool = [attribute for attribute, kind in source[1]
+                if domain is None or kind == domain]
+        if not pool:
+            pool = [attribute for attribute, _ in source[1]]
+        return self.rng.choice(pool)
+
+    def _conjunct(self, sources, left: int, right: int) -> str:
+        domain = self.rng.choice(["str", "num", None])   # None = mixed
+        left_attribute = self._attribute(sources[left], domain)
+        right_attribute = self._attribute(sources[right], domain)
+        return f"$v{left}/{left_attribute} = $v{right}/{right_attribute}"
+
+    def query(self) -> str:
+        count = self.rng.randint(2, 4)
+        sources = [self.rng.choice(self.SOURCES) for _ in range(count)]
+        clauses = " ".join(f"for $v{index} in {source[0]}"
+                           for index, source in enumerate(sources))
+        conjuncts = []
+        for index in range(1, count):
+            conjuncts.append(
+                self._conjunct(sources, index, self.rng.randrange(index)))
+        if count >= 3 and self.rng.random() < 0.4:
+            extra = self.rng.sample(range(count), 2)
+            conjuncts.append(self._conjunct(sources, extra[0], extra[1]))
+        where = " and ".join(conjuncts)
+        last = count - 1
+        body = self.rng.choice([
+            f"$v0/{self._attribute(sources[0])}",
+            f"<j>{{$v{last}/{self._attribute(sources[last])}}}</j>",
+        ])
+        query = f"{clauses} where {where} return {body}"
+        if self.rng.random() < 0.4:
+            return f"count({query})"
+        return query
+
+
+def generated_join_queries(count: int = JOIN_COUNT) -> list[str]:
+    fuzzer = MultiJoinFuzzer(JOIN_SEED)
+    queries: list[str] = []
+    seen: set[str] = set()
+    while len(queries) < count:
+        query = fuzzer.query()
+        if query not in seen:
+            seen.add(query)
+            queries.append(query)
+    return queries
+
+
+def join_configurations() -> list[tuple[str, EngineOptions]]:
+    """wcoj on/off (plus pairwise recognition off) and sampled combos."""
+    configurations: list[tuple[str, EngineOptions]] = [
+        ("default", EngineOptions()),
+        ("no-wcoj", EngineOptions(wcoj=False)),
+        ("no-join_recognition", EngineOptions(join_recognition=False)),
+    ]
+    rng = random.Random(JOIN_SEED + 1)
+    for index in range(JOIN_COMBINATION_COUNT):
+        flipped = set(rng.sample(OPTION_NAMES,
+                                 rng.randint(2, len(OPTION_NAMES) - 1)))
+        # half the combos keep wcoj on against other disabled rewrites,
+        # half turn it off together with them
+        if index % 2 == 0:
+            flipped.discard("wcoj")
+        else:
+            flipped.add("wcoj")
+        configurations.append(
+            (f"join-combo-{index}",
+             EngineOptions(**{name: False for name in flipped})))
+    return configurations
+
+
 def option_configurations() -> list[tuple[str, EngineOptions]]:
     """Default + every single-switch ablation + sampled combinations."""
     configurations: list[tuple[str, EngineOptions]] = [
@@ -445,6 +561,100 @@ def test_fused_chains_bit_identical_to_per_step_baseline(
         per_step_result = differential_engine.query(query, options=per_step)
         assert fused_result.serialize() == per_step_result.serialize() \
             == chain_baseline_results[query], query
+
+
+@pytest.fixture(scope="module")
+def join_baseline_results(differential_engine) -> dict[str, str]:
+    """The oracle for the multi-join fuzzer corpus."""
+    oracle: dict[str, str] = {}
+    for query in generated_join_queries():
+        items = run_baseline(differential_engine.store, query, "auction.xml")
+        oracle[query] = serialize_sequence(items)
+    return oracle
+
+
+@pytest.mark.parametrize("config_name,options", join_configurations(),
+                         ids=[name for name, _ in join_configurations()])
+def test_multi_joins_against_baseline(differential_engine,
+                                      join_baseline_results,
+                                      config_name, options):
+    for query in generated_join_queries():
+        result = differential_engine.query(query, options=options)
+        assert result.serialize() == join_baseline_results[query], (
+            f"configuration {config_name!r} diverged from the baseline "
+            f"interpreter on:\n{query}")
+
+
+def test_join_fuzzer_is_deterministic():
+    assert generated_join_queries() == generated_join_queries()
+    assert len(generated_join_queries()) == JOIN_COUNT
+
+
+def test_join_fuzzer_covers_the_join_shapes():
+    queries = generated_join_queries()
+    text = "\n".join(queries)
+    assert any(query.count("for $") >= 3 for query in queries)  # >= 3-way
+    assert "africa" in text                    # an always-empty input
+    assert "buyer/@person" in text             # duplicates in the data
+    assert "price/text()" in text or "initial/text()" in text  # numeric
+    assert "count(" in text
+
+
+def test_join_fuzzer_exercises_wcoj(differential_engine):
+    """At least one fuzzed shape must actually take the generic-join path
+    (guards the corpus against drifting away from the recognition rule)."""
+    from repro.relational import capture
+    hits = 0
+    for query in generated_join_queries():
+        with capture() as trace:
+            differential_engine.query(query)
+        hits += trace.count("plan.wcoj")
+    assert hits > 0
+
+
+def test_wcoj_switch_is_ablated():
+    """``wcoj`` must be part of the generic harness: OPTION_NAMES is derived
+    from the dataclass fields, so the single-switch configuration and the
+    sampled combinations pick it up automatically."""
+    assert "wcoj" in OPTION_NAMES
+    names = [name for name, _ in option_configurations()]
+    assert "no-wcoj" in names
+    join_names = [name for name, _ in join_configurations()]
+    assert "no-wcoj" in join_names
+
+
+def test_wcoj_bit_identical_to_pairwise_baseline(differential_engine,
+                                                 join_baseline_results):
+    """wcoj=True (the default) and the pairwise join planner must serialize
+    identically on every fuzzed join — the generic join may change *how*
+    tuples are found, never their bytes or their order."""
+    generic = EngineOptions(wcoj=True)
+    pairwise = EngineOptions(wcoj=False)
+    for query in generated_join_queries():
+        generic_result = differential_engine.query(query, options=generic)
+        pairwise_result = differential_engine.query(query, options=pairwise)
+        assert generic_result.serialize() == pairwise_result.serialize() \
+            == join_baseline_results[query], query
+
+
+@pytest.mark.slow
+def test_multi_join_fuzzer_long_mode(differential_engine):
+    """Opt-in long mode: a larger corpus under every single-switch ablation
+    (run with ``pytest -m slow tests/test_differential.py``)."""
+    queries = generated_join_queries(JOIN_COUNT_LONG)
+    oracle = {
+        query: serialize_sequence(
+            run_baseline(differential_engine.store, query, "auction.xml"))
+        for query in queries}
+    configurations = [("default", EngineOptions())] + [
+        (f"no-{name}", EngineOptions(**{name: False}))
+        for name in OPTION_NAMES]
+    for config_name, options in configurations:
+        for query in queries:
+            result = differential_engine.query(query, options=options)
+            assert result.serialize() == oracle[query], (
+                f"configuration {config_name!r} diverged from the baseline "
+                f"interpreter on:\n{query}")
 
 
 def test_generator_covers_the_query_families():

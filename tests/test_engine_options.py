@@ -34,7 +34,8 @@ class TestAblationsPreserveSemantics:
                                       "nametest_pushdown", "join_recognition",
                                       "order_optimization", "positional_lookup",
                                       "existential_aggregates",
-                                      "projection_pushdown", "subplan_sharing"])
+                                      "projection_pushdown", "subplan_sharing",
+                                      "wcoj"])
     def test_single_flag_off_matches_default(self, engine, flag):
         query = QUERIES[3]
         expected = engine.query(query).items
@@ -74,6 +75,25 @@ class TestAblationsChangeAlgorithms:
             engine.query(query, options=engine.options.replace(order_optimization=False))
         assert naive.count("sort.full") > optimized.count("sort.full")
         assert optimized.count("sort.skipped") > 0
+
+    def test_wcoj_strategy_switch(self, engine):
+        # three-way value-join clique over the small document: persons,
+        # their closed auctions and the items those auctions sold
+        query = ("for $p in /site/people/person "
+                 "for $c in /site/closed_auctions/closed_auction "
+                 "for $i in /site/regions/europe/item "
+                 "where $c/buyer/@person = $p/@id "
+                 "and $c/itemref/@item = $i/@id "
+                 "and $i/@id = $c/itemref/@item "
+                 "return $i/name/text()")
+        with capture() as generic_trace:
+            baseline = engine.query(query).items
+        with capture() as pairwise_trace:
+            other = engine.query(
+                query, options=engine.options.replace(wcoj=False)).items
+        assert baseline == other
+        assert generic_trace.count("plan.wcoj") > 0
+        assert pairwise_trace.count("plan.wcoj") == 0
 
     def test_existential_strategy_switch(self, engine):
         query = ("for $p in /site/people/person "

@@ -1,10 +1,14 @@
 """Sort / refine-sort and order-property exploitation (Section 4.1)."""
 
+from array import array
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.relational import Table, capture
-from repro.relational.sorting import is_sorted_on, refine_sort, sort, total_order_key
+from repro.relational.sorting import (argsort_ints, gallop, gallop_intersect,
+                                      is_sorted_on, refine_sort, sort,
+                                      total_order_key)
 
 
 class TestSort:
@@ -87,6 +91,35 @@ def test_sort_matches_python_sorted(rows):
                              "v": [row[1] for row in rows]})
     result = sort(table, ("g", "v"), use_properties=False)
     assert result.to_rows(["g", "v"]) == sorted(rows)
+
+
+class TestGallopKernels:
+    """The WCOJ building blocks live next to the sort primitives: galloping
+    boundary search and leapfrog intersection over sorted int buffers."""
+
+    def test_gallop_on_empty_and_single(self):
+        assert gallop(array("q"), 1) == 0
+        assert gallop(array("q", [4]), 4) == 0
+        assert gallop(array("q", [4]), 5) == 1
+
+    def test_gallop_intersect_with_duplicates(self):
+        left = array("q", [1, 1, 2, 2, 2, 7])
+        right = array("q", [0, 2, 2, 7, 7, 9])
+        assert gallop_intersect(left, right) == [2, 7]
+
+    def test_argsort_ints_orders_paired_buffers(self):
+        keys = array("q", [5, 1, 3])
+        items = array("q", [10, 11, 12])
+        order = argsort_ints(keys)
+        assert [keys[i] for i in order] == [1, 3, 5]
+        assert [items[i] for i in order] == [11, 12, 10]
+
+
+@given(st.lists(st.integers(-30, 30), max_size=50).map(sorted),
+       st.lists(st.integers(-30, 30), max_size=50).map(sorted))
+def test_gallop_intersect_matches_naive_set_intersection(left, right):
+    result = gallop_intersect(array("q", left), array("q", right))
+    assert result == sorted(set(left) & set(right))
 
 
 @given(st.lists(st.tuples(st.integers(0, 3), st.integers(-10, 10)), max_size=40))

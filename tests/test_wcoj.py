@@ -1,0 +1,247 @@
+"""Worst-case-optimal multi-way joins: recognition, execution, ablation.
+
+The adversarial shape is the classic triangle: R(x, y) ⋈ S(y, z) ⋈ T(z, x)
+where every R–S pair agrees on ``y`` (a single shared value), so any
+pairwise plan materialises a Θ(n²) intermediate before the third conjunct
+cuts it down — while the true result is linear (T pairs ``z`` and ``x``
+one-to-one).  The generic join must produce bit-identical results with a
+worst-case-optimal intermediate.
+"""
+
+import pytest
+
+from repro import MonetXQuery
+from repro.relational import capture
+
+
+TRIANGLE_N = 12
+
+TRIANGLE_QUERY = (
+    "for $r in /db/r for $s in /db/s for $t in /db/t "
+    "where $r/y = $s/y and $s/z = $t/z and $t/x = $r/x "
+    "return <m>{$r/x/text()}</m>")
+
+
+def triangle_document(n: int) -> str:
+    rows = []
+    rows.extend(f"<r><x>{i}</x><y>0</y></r>" for i in range(n))
+    rows.extend(f"<s><y>0</y><z>{j}</z></s>" for j in range(n))
+    rows.extend(f"<t><z>{j}</z><x>{j}</x></t>" for j in range(n))
+    return "<db>" + "".join(rows) + "</db>"
+
+
+@pytest.fixture(scope="module")
+def triangle_engine() -> MonetXQuery:
+    engine = MonetXQuery()
+    engine.load_document_text(triangle_document(TRIANGLE_N), name="tri.xml")
+    return engine
+
+
+class TestTriangleRegression:
+    def test_results_bit_identical_and_wcoj_traced(self, triangle_engine):
+        with capture() as generic_trace:
+            generic = triangle_engine.query(TRIANGLE_QUERY).serialize()
+        with capture() as pairwise_trace:
+            pairwise = triangle_engine.query(
+                TRIANGLE_QUERY,
+                options=triangle_engine.options.replace(wcoj=False)
+            ).serialize()
+        assert generic == pairwise
+        assert generic.count("<m>") == TRIANGLE_N       # linear output
+        assert generic_trace.count("plan.wcoj") == 1
+        assert pairwise_trace.count("plan.wcoj") == 0
+
+    def test_pairwise_intermediate_quadratic_wcoj_linear(self,
+                                                         triangle_engine):
+        n = TRIANGLE_N
+        with capture() as generic_trace:
+            triangle_engine.query(TRIANGLE_QUERY)
+        with capture() as pairwise_trace:
+            triangle_engine.query(
+                TRIANGLE_QUERY,
+                options=triangle_engine.options.replace(wcoj=False))
+        wcoj_entries = [entry for entry in generic_trace.entries
+                        if entry.algorithm == "plan.wcoj"]
+        assert [entry.rows_out for entry in wcoj_entries] == [n]
+        # the pairwise plan's first join pairs every R row with every S row
+        pairwise_peak = max(entry.rows_out
+                            for entry in pairwise_trace.entries
+                            if entry.algorithm.startswith("existential."))
+        assert pairwise_peak >= n * n
+
+    def test_explain_surfaces_the_strategy(self, triangle_engine):
+        plan = triangle_engine.explain(TRIANGLE_QUERY)
+        assert "(wcoj)" in plan
+        assert "wcoj-recognition" in plan
+
+    def test_wcoj_off_restores_the_pairwise_plan(self, triangle_engine):
+        plan = triangle_engine.explain(
+            TRIANGLE_QUERY,
+            options=triangle_engine.options.replace(wcoj=False))
+        assert "wcoj" not in plan
+        assert "join-recognized" in plan        # the PR 2 pairwise schedule
+
+
+class TestRecognitionRule:
+    """Shapes that must NOT take the generic-join path."""
+
+    def explain(self, engine, query, **changes):
+        options = engine.options.replace(**changes) if changes else None
+        return engine.explain(query, options=options)
+
+    def test_two_way_joins_stay_pairwise(self, triangle_engine):
+        plan = self.explain(
+            triangle_engine,
+            "for $r in /db/r for $s in /db/s "
+            "where $r/y = $s/y return $r/x/text()")
+        assert "(wcoj)" not in plan
+        assert "join-recognized" in plan
+
+    def test_disconnected_clauses_stay_pairwise(self, triangle_engine):
+        plan = self.explain(
+            triangle_engine,
+            "for $r in /db/r for $s in /db/s for $t in /db/t "
+            "where $r/y = $s/y return $t/x/text()")
+        assert "(wcoj)" not in plan
+
+    def test_positional_variables_disqualify(self, triangle_engine):
+        plan = self.explain(
+            triangle_engine,
+            "for $r at $p in /db/r for $s in /db/s for $t in /db/t "
+            "where $r/y = $s/y and $s/z = $t/z and $t/x = $r/x "
+            "return $p")
+        assert "(wcoj)" not in plan
+
+    def test_let_clauses_disqualify(self, triangle_engine):
+        plan = self.explain(
+            triangle_engine,
+            "for $r in /db/r let $v := $r/y for $s in /db/s for $t in /db/t "
+            "where $v = $s/y and $s/z = $t/z and $t/x = $r/x "
+            "return $r/x/text()")
+        assert "(wcoj)" not in plan
+
+    def test_dependent_binding_sequences_disqualify(self, triangle_engine):
+        plan = self.explain(
+            triangle_engine,
+            "for $r in /db/r for $s in $r/y for $t in /db/t "
+            "where $r/y = $s and $s = $t/z and $t/x = $r/x "
+            "return $r/x/text()")
+        assert "(wcoj)" not in plan
+
+    def test_non_eq_conjunct_stays_a_residual_filter(self, triangle_engine):
+        # r-s-t are still connected through the two eq edges, so wcoj
+        # applies — but the < conjunct must survive as a residual filter
+        query = ("for $r in /db/r for $s in /db/s for $t in /db/t "
+                 "where $r/y = $s/y and $s/z = $t/z and $t/x < $r/x "
+                 "return $r/x/text()")
+        generic = triangle_engine.query(query).serialize()
+        pairwise = triangle_engine.query(
+            query,
+            options=triangle_engine.options.replace(wcoj=False)).serialize()
+        assert generic == pairwise
+
+    def test_non_eq_edges_do_not_connect_the_clique(self, triangle_engine):
+        # only $r=$s is an eq edge; $t hangs off a < conjunct, so the
+        # clique over eq edges does not span all clauses
+        plan = self.explain(
+            triangle_engine,
+            "for $r in /db/r for $s in /db/s for $t in /db/t "
+            "where $r/y = $s/y and $t/x < $r/x "
+            "return $r/x/text()")
+        assert "(wcoj)" not in plan
+
+    def test_join_recognition_off_disables_wcoj_too(self, triangle_engine):
+        plan = self.explain(triangle_engine, TRIANGLE_QUERY,
+                            join_recognition=False)
+        assert "wcoj" not in plan
+
+
+class TestExecutionCorners:
+    def test_nested_inside_an_outer_loop(self, triangle_engine):
+        # the clique sits under an enclosing for: the generic join runs
+        # once and its tuples are replicated per outer iteration
+        query = ("for $o in /db/t/x "
+                 "return count(for $r in /db/r for $s in /db/s "
+                 "for $t in /db/t "
+                 "where $r/y = $s/y and $s/z = $t/z and $t/x = $r/x "
+                 "and $t/x = $o "
+                 "return $t)")
+        generic = triangle_engine.query(query).serialize()
+        pairwise = triangle_engine.query(
+            query,
+            options=triangle_engine.options.replace(wcoj=False)).serialize()
+        assert generic == pairwise
+
+    def test_empty_outer_loop(self, triangle_engine):
+        query = ("for $o in /db/missing "
+                 "return count(for $r in /db/r for $s in /db/s "
+                 "for $t in /db/t "
+                 "where $r/y = $s/y and $s/z = $t/z and $t/x = $r/x "
+                 "return $t)")
+        assert triangle_engine.query(query).serialize() == \
+            triangle_engine.query(
+                query,
+                options=triangle_engine.options.replace(wcoj=False)
+            ).serialize() == ""
+
+    def test_empty_relation(self, triangle_engine):
+        query = ("for $r in /db/r for $s in /db/s for $t in /db/missing "
+                 "where $r/y = $s/y and $s/z = $t/z and $t/x = $r/x "
+                 "return $t")
+        assert triangle_engine.query(query).serialize() == ""
+
+    def test_order_by_over_the_clique(self, triangle_engine):
+        query = ("for $r in /db/r for $s in /db/s for $t in /db/t "
+                 "where $r/y = $s/y and $s/z = $t/z and $t/x = $r/x "
+                 "order by $r/x/text() descending "
+                 "return $r/x/text()")
+        generic = triangle_engine.query(query).serialize()
+        pairwise = triangle_engine.query(
+            query,
+            options=triangle_engine.options.replace(wcoj=False)).serialize()
+        assert generic == pairwise
+
+    def test_four_way_chain(self, triangle_engine):
+        query = ("for $a in /db/r for $b in /db/s for $c in /db/t "
+                 "for $d in /db/r "
+                 "where $a/y = $b/y and $b/z = $c/z and $c/x = $d/x "
+                 "return $d/x/text()")
+        with capture() as trace:
+            generic = triangle_engine.query(query).serialize()
+        pairwise = triangle_engine.query(
+            query,
+            options=triangle_engine.options.replace(wcoj=False)).serialize()
+        assert generic == pairwise
+        assert trace.count("plan.wcoj") == 1
+
+    def test_mixed_typed_keys_follow_per_pair_rules(self):
+        # "01" and 1 join numerically (one genuine side); "01" and "1"
+        # do not (two strings compare as strings); "1.0" matches 1 but
+        # not "1" — the cast-vs-genuine cases the encoding must keep apart
+        engine = MonetXQuery()
+        engine.load_document_text(
+            "<db>"
+            "<a><k>01</k></a><a><k>1.0</k></a><a><k>x</k></a>"
+            "<b><k>1</k></b><b><k>01</k></b>"
+            "<c><k>1</k></c><c><k>x</k></c>"
+            "</db>", name="mixed.xml")
+        query = ("for $a in /db/a for $b in /db/b for $c in /db/c "
+                 "where $a/k = $b/k and $b/k = $c/k and $c/k = $a/k "
+                 "return <hit>{$a/k/text()}{$b/k/text()}{$c/k/text()}</hit>")
+        generic = engine.query(query).serialize()
+        pairwise = engine.query(
+            query, options=engine.options.replace(wcoj=False)).serialize()
+        assert generic == pairwise
+
+    def test_plan_cache_keys_on_the_switch(self, triangle_engine):
+        # the same query text alternating between wcoj on/off must never
+        # reuse the other configuration's plan
+        for _ in range(2):
+            with capture() as trace_on:
+                triangle_engine.query(TRIANGLE_QUERY)
+            assert trace_on.count("plan.wcoj") == 1
+            with capture() as trace_off:
+                triangle_engine.query(
+                    TRIANGLE_QUERY,
+                    options=triangle_engine.options.replace(wcoj=False))
+            assert trace_off.count("plan.wcoj") == 0

@@ -1,0 +1,204 @@
+"""Property tests for the WCOJ kernels: gallop search, run intersection,
+the generic join driver and the sort-based existential equi-join."""
+
+from array import array
+from bisect import bisect_left
+
+from hypothesis import given, strategies as st
+
+from repro.relational import capture
+from repro.relational.sorting import (argsort_ints, gallop, gallop_intersect,
+                                      intersect_runs)
+from repro.relational.wcoj import JoinAttribute, eq_join_pairs, generic_join
+
+
+sorted_buffers = st.lists(st.integers(-50, 50), max_size=60).map(sorted)
+
+
+# --------------------------------------------------------------------------- #
+# gallop search
+# --------------------------------------------------------------------------- #
+class TestGallop:
+    def test_empty_buffer(self):
+        assert gallop(array("q"), 5) == 0
+
+    def test_single_element(self):
+        assert gallop(array("q", [3]), 2) == 0
+        assert gallop(array("q", [3]), 3) == 0
+        assert gallop(array("q", [3]), 4) == 1
+
+    def test_duplicates_find_first(self):
+        buffer = array("q", [1, 2, 2, 2, 5])
+        assert gallop(buffer, 2) == 1
+        assert gallop(buffer, 3) == 4
+
+    def test_respects_lower_bound(self):
+        buffer = array("q", [1, 2, 2, 2, 5])
+        assert gallop(buffer, 2, lo=3) == 3
+        assert gallop(buffer, 2, lo=4) == 4
+
+
+@given(sorted_buffers, st.integers(-60, 60),
+       st.integers(0, 60))
+def test_gallop_matches_bisect_left(values, target, lo):
+    lo = min(lo, len(values))
+    buffer = array("q", values)
+    assert gallop(buffer, target, lo) == bisect_left(buffer, target, lo)
+
+
+# --------------------------------------------------------------------------- #
+# gallop intersection and run alignment
+# --------------------------------------------------------------------------- #
+class TestIntersect:
+    def test_empty_sides(self):
+        assert gallop_intersect(array("q"), array("q", [1, 2])) == []
+        assert gallop_intersect(array("q", [1, 2]), array("q")) == []
+
+    def test_single_elements(self):
+        assert gallop_intersect(array("q", [7]), array("q", [7])) == [7]
+        assert gallop_intersect(array("q", [7]), array("q", [8])) == []
+
+    def test_duplicates_collapse(self):
+        left = array("q", [1, 1, 1, 2, 9, 9])
+        right = array("q", [1, 2, 2, 9])
+        assert gallop_intersect(left, right) == [1, 2, 9]
+
+    def test_runs_carry_boundaries(self):
+        left = array("q", [1, 1, 3, 5, 5, 5])
+        right = array("q", [1, 5, 5, 8])
+        assert intersect_runs(left, right) == [
+            (1, 0, 2, 0, 1), (5, 3, 6, 1, 3)]
+
+
+@given(sorted_buffers, sorted_buffers)
+def test_gallop_intersect_matches_set_intersection(left, right):
+    result = gallop_intersect(array("q", left), array("q", right))
+    assert result == sorted(set(left) & set(right))
+
+
+@given(sorted_buffers, sorted_buffers)
+def test_intersect_runs_covers_every_common_value(left, right):
+    left_buffer, right_buffer = array("q", left), array("q", right)
+    runs = intersect_runs(left_buffer, right_buffer)
+    assert [run[0] for run in runs] == sorted(set(left) & set(right))
+    for value, left_lo, left_hi, right_lo, right_hi in runs:
+        # each half-open range is exactly the run of `value` on that side
+        assert set(left_buffer[left_lo:left_hi]) == {value}
+        assert left.count(value) == left_hi - left_lo
+        assert set(right_buffer[right_lo:right_hi]) == {value}
+        assert right.count(value) == right_hi - right_lo
+
+
+@given(st.lists(st.integers(-100, 100), max_size=50))
+def test_argsort_is_a_stable_sorting_permutation(values):
+    order = argsort_ints(array("q", values))
+    assert sorted(order) == list(range(len(values)))
+    assert [values[i] for i in order] == sorted(values)
+
+
+# --------------------------------------------------------------------------- #
+# the generic join driver
+# --------------------------------------------------------------------------- #
+def _attribute(left_rel, right_rel, left_values, right_values):
+    """A JoinAttribute over single-valued numeric relations."""
+    attribute = JoinAttribute(left_rel, right_rel)
+    for values in (left_values, right_values):
+        attribute.add_side(
+            (attribute.intern(("n", value), numeric=True), index, True)
+            for index, value in enumerate(values))
+    return attribute
+
+
+class TestGenericJoin:
+    def test_two_way_matches_nested_loop(self):
+        left, right = [1, 2, 2, 5], [2, 5, 5, 7]
+        expected = {(i, j) for i, lv in enumerate(left)
+                    for j, rv in enumerate(right) if lv == rv}
+        attribute = _attribute(0, 1, left, right)
+        assert generic_join([len(left), len(right)], [attribute]) == expected
+
+    def test_empty_relation_short_circuits(self):
+        attribute = _attribute(0, 1, [1], [])
+        assert generic_join([1, 0], [attribute]) == set()
+
+    def test_triangle_matches_nested_loop(self):
+        r = [(1, 10), (2, 10), (3, 20)]          # (x, y)
+        s = [(10, 7), (20, 8), (20, 9)]          # (y, z)
+        t = [(7, 1), (8, 3), (9, 9)]             # (z, x)
+        expected = {(i, j, k)
+                    for i, (rx, ry) in enumerate(r)
+                    for j, (sy, sz) in enumerate(s)
+                    for k, (tz, tx) in enumerate(t)
+                    if ry == sy and sz == tz and tx == rx}
+        assert expected                          # the shape is non-trivial
+        attributes = [
+            _attribute(0, 1, [ry for _, ry in r], [sy for sy, _ in s]),
+            _attribute(1, 2, [sz for _, sz in s], [tz for tz, _ in t]),
+            _attribute(2, 0, [tx for _, tx in t], [rx for rx, _ in r]),
+        ]
+        assert generic_join([3, 3, 3], attributes) == expected
+
+    def test_cast_pairs_only_match_genuine_numerics(self):
+        # per-pair typing: a cast key ("1" read as 1.0) pairs with a
+        # genuinely numeric 1 but never with another cast
+        attribute = JoinAttribute(0, 1)
+        attribute.add_side([            # left: item 0 genuine 1, item 1 cast
+            (attribute.intern(("n", 1.0), numeric=True), 0, True),
+            (attribute.intern(("n", 1.0), numeric=True), 1, False),
+        ])
+        attribute.add_side([            # right: item 0 cast, item 1 genuine
+            (attribute.intern(("n", 1.0), numeric=True), 0, False),
+            (attribute.intern(("n", 1.0), numeric=True), 1, True),
+        ])
+        assert generic_join([2, 2], [attribute]) == {
+            (0, 0), (0, 1), (1, 1)}    # cast x cast (1, 0) is excluded
+
+
+@given(st.lists(st.integers(0, 4), min_size=1, max_size=8),
+       st.lists(st.integers(0, 4), min_size=1, max_size=8),
+       st.lists(st.integers(0, 4), min_size=1, max_size=8))
+def test_generic_join_triangle_matches_nested_loop(xs, ys, zs):
+    """Random triangle R(a)=S(a), S(b)=T(b), T(c)=R(c) over tiny domains
+    (every relation single-valued per attribute, so relation i's attribute
+    values are derived from its item index)."""
+    r = [(value, index % 3) for index, value in enumerate(xs)]   # (a, c)
+    s = [(value, index % 3) for index, value in enumerate(ys)]   # (a, b)
+    t = [(value, index % 3) for index, value in enumerate(zs)]   # (b, c)
+    expected = {(i, j, k)
+                for i, (ra, rc) in enumerate(r)
+                for j, (sa, sb) in enumerate(s)
+                for k, (tb, tc) in enumerate(t)
+                if ra == sa and sb == tb and tc == rc}
+    attributes = [
+        _attribute(0, 1, [ra for ra, _ in r], [sa for sa, _ in s]),
+        _attribute(1, 2, [sb for _, sb in s], [tb for tb, _ in t]),
+        _attribute(2, 0, [tc for _, tc in t], [rc for _, rc in r]),
+    ]
+    assert generic_join([len(r), len(s), len(t)], attributes) == expected
+
+
+# --------------------------------------------------------------------------- #
+# the sort-based existential equi-join
+# --------------------------------------------------------------------------- #
+class TestEqJoinPairs:
+    def test_duplicate_groups_deduplicate(self):
+        left = [(1, "a"), (1, "a"), (2, "a")]
+        right = [(9, "a"), (9, "b")]
+        assert eq_join_pairs(left, right) == [(1, 9), (2, 9)]
+
+    def test_numeric_unification_matches_hash_buckets(self):
+        # dict-bucket semantics: 1 == 1.0 (Python value equality)
+        assert eq_join_pairs([(1, 1)], [(2, 1.0)]) == [(1, 2)]
+
+    def test_records_the_vectorized_trace(self):
+        with capture() as trace:
+            eq_join_pairs([(1, "x")], [(2, "x")])
+        assert trace.count("join.sort-runs") == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 6)), max_size=30),
+       st.lists(st.tuples(st.integers(0, 5), st.integers(0, 6)), max_size=30))
+def test_eq_join_pairs_matches_nested_loop(left, right):
+    expected = sorted({(lg, rg) for lg, lv in left
+                       for rg, rv in right if lv == rv})
+    assert eq_join_pairs(left, right) == expected
