@@ -1,0 +1,198 @@
+"""Persistence: cold starts, warm restarts, out-of-core reads.
+
+The point of the persisted store is that restarting costs *opening files*,
+not re-parsing XML: ``DocumentStore.open()`` maps (or bulk-loads) the
+column files and answers its first query immediately.  The benchmark
+measures
+
+* **cold start vs. re-shred** — open-to-first-query time against
+  parse+shred of the same XMark document.  The ratio grows with document
+  size (shredding is linear in the text, mmap opening is O(1) in it);
+  at ``REPRO_BENCH_SCALE >= 0.5`` the bench *asserts* the >= 5x speedup,
+  below that it only records the ratio.
+* **out-of-core reads** — a subprocess opens the store mmap-backed and
+  scans a single column; its peak RSS must stay below the total
+  column-file footprint at scale >= 1.0 (columns you don't touch are
+  never paged in), which is what lets a store serve documents larger
+  than RAM.
+* **write-through cost** — committing a small update to a bound store
+  rewrites only the changed column files, so the cost is proportional to
+  the change, not to a full save.
+
+Results land in ``BENCH_bench_persistence.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.xmark import generate_document
+from repro.xml import shred_document
+from repro.xml.document import DocumentStore
+
+from .conftest import BASE_SCALE, SEED, write_bench_json
+
+
+#: the speedup/RSS assertions only engage at the scales the paper-style
+#: claim is about; smoke runs (CI) record the numbers without gating
+ASSERT_SPEEDUP_SCALE = 0.5
+ASSERT_RSS_SCALE = 1.0
+RESHRED_SPEEDUP = 5.0
+
+_RESULTS: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def persisted(tmp_path_factory):
+    """A saved XMark store plus the raw text it was shredded from."""
+    text = generate_document(BASE_SCALE, SEED)
+    store = DocumentStore()
+    container = shred_document(text, "auction.xml", store)
+    path = tmp_path_factory.mktemp("persist") / "store"
+    store.save(path)
+    return path, text, container.node_count
+
+
+def _column_footprint(path) -> int:
+    return sum(column.stat().st_size for doc in path.iterdir() if doc.is_dir()
+               for column in doc.glob("*.col"))
+
+
+def test_cold_start_beats_reshred(benchmark, persisted):
+    path, text, nodes = persisted
+
+    def cold_start():
+        store = DocumentStore.open(path)            # mmap
+        count = store.get("auction.xml").tag_count("person")
+        store.close()
+        return count
+
+    first_answer = benchmark.pedantic(cold_start, rounds=3, iterations=1,
+                                      warmup_rounds=0)
+    assert first_answer > 0
+
+    open_times = []
+    for _ in range(3):
+        started = time.perf_counter()
+        cold_start()
+        open_times.append(time.perf_counter() - started)
+    started = time.perf_counter()
+    scratch = DocumentStore()
+    shred_document(text, "auction.xml", scratch)
+    shred_time = time.perf_counter() - started
+
+    open_time = min(open_times)
+    ratio = shred_time / open_time if open_time else float("inf")
+    benchmark.extra_info["experiment"] = "cold-start-vs-reshred"
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["open_s"] = open_time
+    benchmark.extra_info["reshred_s"] = shred_time
+    benchmark.extra_info["speedup"] = ratio
+    _RESULTS["cold_start"] = {
+        "nodes": nodes, "open_s": open_time, "reshred_s": shred_time,
+        "speedup": ratio,
+    }
+    if BASE_SCALE >= ASSERT_SPEEDUP_SCALE:
+        assert ratio >= RESHRED_SPEEDUP, (
+            f"cold start must be >= {RESHRED_SPEEDUP}x faster than "
+            f"parse+shred at scale {BASE_SCALE} (got {ratio:.1f}x)")
+
+
+_CHILD_SCAN = r"""
+import json, sys, time
+from repro.xml.document import DocumentStore
+
+def current_rss_bytes():
+    # ru_maxrss is poisoned by the copy-on-write baseline inherited from
+    # the (large) bench runner at fork time; the *current* VmRSS after the
+    # scan is the honest out-of-core number: interpreter + touched pages
+    with open("/proc/self/status") as status:
+        for line in status:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) * 1024
+    return 0
+
+path, backend = sys.argv[1], sys.argv[2]
+started = time.perf_counter()
+store = DocumentStore.open(path, backend=backend)
+container = store.get("auction.xml")
+open_s = time.perf_counter() - started
+started = time.perf_counter()
+elements = sum(1 for kind in container.kind if kind == 1)
+scan_s = time.perf_counter() - started
+print(json.dumps({
+    "open_s": open_s, "scan_s": scan_s, "elements": elements,
+    "rss_bytes": current_rss_bytes(),
+}))
+"""
+
+
+def _run_child(path, backend: str) -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    output = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCAN, str(path), backend],
+        capture_output=True, text=True, env=env, check=True)
+    return json.loads(output.stdout)
+
+
+def test_out_of_core_rss(persisted):
+    """A fresh process scanning one mapped column must not pay for the
+    others: peak RSS stays below the total column footprint (asserted at
+    scale >= 1.0; recorded always)."""
+    path, _text, nodes = persisted
+    footprint = _column_footprint(path)
+    mmap_child = _run_child(path, "mmap")
+    ram_child = _run_child(path, "ram")
+    assert mmap_child["elements"] == ram_child["elements"] > 0
+    _RESULTS["out_of_core"] = {
+        "nodes": nodes,
+        "column_footprint_bytes": footprint,
+        "mmap": mmap_child,
+        "ram": ram_child,
+    }
+    if BASE_SCALE >= ASSERT_RSS_SCALE:
+        assert mmap_child["rss_bytes"] < footprint, (
+            f"mmap scan RSS {mmap_child['rss_bytes']} must stay below "
+            f"the {footprint}-byte column footprint at scale {BASE_SCALE}")
+
+
+def test_write_through_rewrites_only_changes(persisted):
+    """Committing a small update to a bound store must be far cheaper than
+    the initial save: unchanged column files are skipped by CRC."""
+    path, text, nodes = persisted
+    engine_store = DocumentStore.open(path, backend="ram")
+
+    started = time.perf_counter()
+    engine_store.save(path)                  # no-op save: everything skipped
+    noop_save = time.perf_counter() - started
+
+    container = engine_store.get("auction.xml")
+    mtimes = {column.name: column.stat().st_mtime_ns
+              for doc in path.iterdir() if doc.is_dir()
+              for column in doc.glob("*.col")}
+    started = time.perf_counter()
+    engine_store.replace(container)          # identical commit: write-through
+    commit_time = time.perf_counter() - started
+    after = {column.name: column.stat().st_mtime_ns
+             for doc in path.iterdir() if doc.is_dir()
+             for column in doc.glob("*.col")}
+    assert after == mtimes                   # no column file rewritten
+
+    _RESULTS["write_through"] = {
+        "nodes": nodes,
+        "noop_save_s": noop_save,
+        "identical_commit_s": commit_time,
+    }
+
+
+def test_write_artifact():
+    """Last test of the module: publish the collected measurements."""
+    write_bench_json("bench_persistence", dict(_RESULTS))

@@ -13,6 +13,9 @@ plain array.  We mirror that with a small representation lattice:
     surrogates by pre rank, ``iter``, ``pos``, structural ``size``/``level``
     columns.  Kernels over these columns avoid per-value boxing checks and
     use the C-speed ``array`` primitives (``index``, slicing, ``min``/``max``).
+    A read-only ``memoryview`` cast to 64-bit ints — the shape the mmap
+    buffer backend serves persisted column files as — is adopted without
+    copying and behaves identically on every read path.
 ``DenseColumn`` (rep ``dense``)
     a *virtual* void column: ``base, base+1, ...`` represented by a
     ``range`` object — nothing is materialised.  Positional selection on a
@@ -30,6 +33,17 @@ from typing import Any, Iterable, Iterator, Sequence
 
 from ..errors import ColumnTypeError
 from .properties import ColumnProps, infer_column_props
+
+
+def is_int64_buffer(values: Any) -> bool:
+    """Whether a value sequence is a raw 64-bit integer buffer — an
+    ``array('q')`` or a ``memoryview`` cast to int64 (the representation
+    the mmap storage backend hands out for persisted columns)."""
+    if isinstance(values, array):
+        return values.typecode == "q"
+    if isinstance(values, memoryview):
+        return values.format == "q"
+    return False
 
 
 def values_equal(left: Sequence[Any], right: Sequence[Any]) -> bool:
@@ -178,7 +192,7 @@ class IntColumn(Column):
     def __init__(self, name: str, values: Iterable[int] | None = None, *,
                  props: ColumnProps | None = None, infer: bool = False):
         self.name = name
-        if isinstance(values, array) and values.typecode == "q":
+        if is_int64_buffer(values):
             self.values = values
         else:
             self.values = array("q", values if values is not None else ())
@@ -213,6 +227,9 @@ class IntColumn(Column):
         if other.name != self.name:
             raise ColumnTypeError(
                 f"cannot append column {other.name!r} to column {self.name!r}")
+        if isinstance(self.values, memoryview):
+            # a mapped column file is immutable; growing it materialises
+            self.values = array("q", self.values)
         length_before = len(self.values)
         try:
             self.values.extend(other.values)
@@ -279,15 +296,16 @@ class DenseColumn(Column):
             "appending")
 
 
-def int_column_values(column: Column) -> "array | range | None":
+def int_column_values(column: Column) -> "array | memoryview | range | None":
     """The typed backing sequence of a column, or ``None`` for list columns.
 
     Kernels use this to decide whether the integer fast path applies:
-    ``array('q')`` and ``range`` values are guaranteed all-int with no
-    boxing surprises (no ``bool``, no ``float``).
+    ``array('q')``, int64 ``memoryview`` (mmap-backed columns) and
+    ``range`` values are guaranteed all-int with no boxing surprises (no
+    ``bool``, no ``float``).
     """
     values = column.values
-    if isinstance(values, array) and values.typecode == "q":
+    if is_int64_buffer(values):
         return values
     if isinstance(values, range):
         return values
@@ -296,8 +314,9 @@ def int_column_values(column: Column) -> "array | range | None":
 
 def concat_values(parts: Sequence[Sequence[Any]]) -> "list | array":
     """Concatenate value sequences, keeping the typed representation when
-    every part is typed (``array('q')`` or ``range``)."""
-    if parts and all(isinstance(part, (array, range)) for part in parts):
+    every part is typed (``array('q')``, int64 ``memoryview`` or ``range``)."""
+    if parts and all(isinstance(part, (array, range)) or is_int64_buffer(part)
+                     for part in parts):
         merged_array = array("q")
         for part in parts:
             merged_array.extend(part)
@@ -316,6 +335,6 @@ def make_column(name: str, values: Sequence[Any], *,
         if props is not None:
             column.props = props
         return column
-    if isinstance(values, array) and values.typecode == "q":
+    if is_int64_buffer(values):
         return IntColumn(name, values, props=props)
     return Column(name, values, props=props)

@@ -85,10 +85,14 @@ class QueryServer:
 
     def __init__(self, engine: MonetXQuery | None = None, *,
                  threads: int = 4, options: EngineOptions | None = None,
+                 store_path: Any = None, store_backend: str = "mmap",
                  plan_cache_size: int = 256, subplan_cache_size: int = 256):
         if engine is None:
-            engine = MonetXQuery(options=options,
+            engine = MonetXQuery(options=options, store_path=store_path,
+                                 store_backend=store_backend,
                                  plan_cache_size=plan_cache_size)
+        elif store_path is not None:
+            raise ValueError("pass either an engine or a store_path, not both")
         self.engine = engine
         if engine.subplan_cache is None and subplan_cache_size > 0:
             engine.subplan_cache = SubplanCache(subplan_cache_size)
@@ -143,6 +147,16 @@ class QueryServer:
             yield updater
             updater.commit()
             self._reclaim_stale()
+
+    def save_store(self, path: Any) -> None:
+        """Persist the loaded documents (serialized with other writers).
+
+        Afterwards the store writes through: every committed change keeps
+        the directory current, and a later ``QueryServer(store_path=path)``
+        starts warm — no re-parse, no re-shred, caches correctly keyed.
+        """
+        with self._mutation_lock:
+            self.engine.save_store(path)
 
     def _reclaim_stale(self) -> None:
         """Free cache entries stranded behind the new schema version.

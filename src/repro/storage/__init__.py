@@ -1,16 +1,52 @@
-"""Page-wise updatable storage for the ``pre|size|level`` encoding (Section 5.2)."""
+"""Storage layer: buffer backends, the persisted store, page-wise updates.
 
-from .locking import DeltaRecord, SizeDeltaLedger, TransactionManager
-from .pages import UNUSED, PagedStructure, PageMapEntry
-from .updatable import UpdatableDocument, UpdateStats
+Three cooperating pieces:
 
-__all__ = [
-    "DeltaRecord",
-    "PageMapEntry",
-    "PagedStructure",
-    "SizeDeltaLedger",
-    "TransactionManager",
-    "UNUSED",
-    "UpdatableDocument",
-    "UpdateStats",
-]
+* :mod:`repro.storage.backends` — the pluggable buffer backends the typed
+  document columns sit on (:class:`RamBackend`, :class:`MmapBackend`);
+* :mod:`repro.storage.persist` — the versioned directory-per-store
+  on-disk format (``DocumentStore.save()`` / ``DocumentStore.open()``);
+* :mod:`repro.storage.pages` / :mod:`~repro.storage.updatable` — the
+  page-wise remappable storage (Section 5.2) that
+  :class:`~repro.xquery.updates.XMLUpdater` runs structural updates
+  through before committing (and, on a persisted store, writing through).
+
+Submodules are re-exported lazily (PEP 562): ``updatable`` imports the
+XML document layer, which in turn reaches back into
+``storage.backends`` — eager imports here would make that a cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "Backend": "backends",
+    "MmapBackend": "backends",
+    "RamBackend": "backends",
+    "StringHeapView": "backends",
+    "DeltaRecord": "locking",
+    "SizeDeltaLedger": "locking",
+    "TransactionManager": "locking",
+    "STORE_FORMAT": "persist",
+    "StoreDirectory": "persist",
+    "PagedStructure": "pages",
+    "UNUSED": "pages",
+    "UpdatableDocument": "updatable",
+    "UpdateStats": "updatable",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

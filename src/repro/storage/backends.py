@@ -1,0 +1,220 @@
+"""Buffer backends: where a document container's columns physically live.
+
+MonetDB's BATs are flat buffers a storage manager can place anywhere —
+process heap, memory-mapped file, shared memory segment.  This module is
+the pluggable seam that gives the typed ``array('q')`` columns of
+:class:`~repro.xml.document.DocumentContainer` the same freedom:
+
+:class:`RamBackend`
+    today's behaviour, verbatim: integer columns are appendable
+    ``array('q')`` buffers, string columns are plain Python lists.  The
+    shredder and node constructors build documents through it.
+:class:`MmapBackend`
+    read-only views over the column files of a persisted store
+    (:mod:`repro.storage.persist`): integer columns are ``memoryview``
+    objects cast to 64-bit signed ints over ``mmap`` regions — the OS
+    pages column data in on demand, so documents larger than RAM stay
+    queryable — and string columns are :class:`StringHeapView` objects
+    decoding UTF-8 lazily out of an offsets-plus-blob heap.
+
+Both expose the same tiny protocol (``int_column`` / ``str_column`` /
+``readonly``), so a third implementation (e.g. a
+``SharedMemoryBackend`` hosting the buffers in
+``multiprocessing.shared_memory`` segments) slots in without touching the
+container or the kernels above it.
+
+Every read path of the engine touches columns only through ``len``,
+indexing, iteration and slicing — exactly the operations ``memoryview``
+shares with ``array`` — so a container is queryable identically no matter
+which backend holds its buffers.
+"""
+
+from __future__ import annotations
+
+import mmap
+from array import array
+from typing import Iterator, Protocol, Sequence
+
+from ..errors import StorageError
+
+
+#: length sentinel marking a missing (``None``) entry in a string heap
+HEAP_NONE = -1
+
+
+class Backend(Protocol):
+    """Where a container's column buffers live (RAM, mmap, shared memory)."""
+
+    #: read-only backends reject structural growth (``add_node`` etc.)
+    readonly: bool
+
+    def int_column(self, name: str) -> Sequence[int]:
+        """The 64-bit integer buffer backing the named column."""
+        ...
+
+    def str_column(self, name: str) -> Sequence[str | None]:
+        """The string sequence backing the named column."""
+        ...
+
+    def close(self) -> None:
+        """Release any resources held for the buffers (idempotent)."""
+        ...
+
+
+class RamBackend:
+    """Process-heap buffers: appendable ``array('q')`` / ``list`` columns.
+
+    This is the default backend and reproduces the pre-backend behaviour
+    bit for bit: each requested column is a fresh, growable buffer owned
+    by the container.
+    """
+
+    readonly = False
+
+    def int_column(self, name: str) -> "array[int]":
+        return array("q")
+
+    def str_column(self, name: str) -> list[str | None]:
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+class StringHeapView:
+    """Lazy string column over an offsets table and a UTF-8 blob.
+
+    The heap layout is ``count`` int64 ``(offset, length)`` pairs followed
+    by one contiguous UTF-8 blob; a length of :data:`HEAP_NONE` marks a
+    ``None`` entry (text content of non-text nodes).  Entries decode on
+    access only, so a mapped value column never materialises the whole
+    document's text.  Out-of-bounds offsets — the signature of a torn or
+    corrupted heap file — raise :class:`~repro.errors.StorageError` naming
+    the file instead of returning garbage.
+    """
+
+    __slots__ = ("_entries", "_blob", "_label")
+
+    def __init__(self, entries: Sequence[int], blob: "memoryview | bytes",
+                 label: str):
+        if len(entries) % 2:
+            raise StorageError(
+                f"string heap {label!r} has a truncated offsets table")
+        self._entries = entries
+        self._blob = blob
+        self._label = label
+
+    def __len__(self) -> int:
+        return len(self._entries) // 2
+
+    def __getitem__(self, index: int) -> str | None:
+        count = len(self._entries) // 2
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            raise IndexError(f"string heap index {index} out of range")
+        offset = self._entries[2 * index]
+        length = self._entries[2 * index + 1]
+        if length == HEAP_NONE:
+            return None
+        if length < 0 or offset < 0 or offset + length > len(self._blob):
+            raise StorageError(
+                f"string heap {self._label!r} entry {index} points outside "
+                f"the blob (offset={offset}, length={length})")
+        try:
+            return bytes(self._blob[offset:offset + length]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise StorageError(
+                f"string heap {self._label!r} entry {index} is not valid "
+                f"UTF-8") from exc
+
+    def __iter__(self) -> Iterator[str | None]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def tolist(self) -> list[str | None]:
+        return list(self)
+
+    def release(self) -> None:
+        """Release mapped buffers (replaces them with empty sequences)."""
+        if isinstance(self._entries, memoryview):
+            self._entries.release()
+        if isinstance(self._blob, memoryview):
+            self._blob.release()
+        self._entries = array("q")
+        self._blob = b""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"StringHeapView({self._label!r}, {len(self)} entries)"
+
+
+def encode_string_heap(values: Sequence[str | None]) -> tuple[bytes, bytes]:
+    """Encode a string column into ``(offsets_bytes, blob_bytes)``.
+
+    The inverse of :class:`StringHeapView`: offsets are ``(offset,
+    length)`` int64 pairs, ``None`` entries get ``(0, HEAP_NONE)``.
+    """
+    entries = array("q")
+    pieces: list[bytes] = []
+    offset = 0
+    for value in values:
+        if value is None:
+            entries.append(0)
+            entries.append(HEAP_NONE)
+            continue
+        encoded = value.encode("utf-8")
+        entries.append(offset)
+        entries.append(len(encoded))
+        pieces.append(encoded)
+        offset += len(encoded)
+    return entries.tobytes(), b"".join(pieces)
+
+
+class MmapBackend:
+    """Read-only views over the mapped column files of a persisted store.
+
+    Constructed by :mod:`repro.storage.persist` with the already-mapped
+    buffers; this class only owns their lifetime.  Integer columns are
+    ``memoryview('q')`` objects, string columns :class:`StringHeapView`
+    objects — both page in from disk on demand.
+    """
+
+    readonly = True
+
+    def __init__(self, int_columns: dict[str, "memoryview"],
+                 str_columns: dict[str, StringHeapView],
+                 mmaps: Sequence[mmap.mmap] = (), *, label: str = "(mmap)"):
+        self._int_columns = int_columns
+        self._str_columns = str_columns
+        self._mmaps = list(mmaps)
+        self._label = label
+
+    def int_column(self, name: str) -> "memoryview":
+        try:
+            return self._int_columns[name]
+        except KeyError:
+            raise StorageError(
+                f"store {self._label!r} has no integer column {name!r}") from None
+
+    def str_column(self, name: str) -> StringHeapView:
+        try:
+            return self._str_columns[name]
+        except KeyError:
+            raise StorageError(
+                f"store {self._label!r} has no string column {name!r}") from None
+
+    def close(self) -> None:
+        """Release the views and close the underlying maps (idempotent)."""
+        for view in self._int_columns.values():
+            view.release()
+        for heap in self._str_columns.values():
+            heap.release()
+        self._int_columns = {}
+        self._str_columns = {}
+        for mapped in self._mmaps:
+            try:
+                if not mapped.closed:
+                    mapped.close()
+            except BufferError:     # a view escaped; the GC will finish up
+                pass
+        self._mmaps = []

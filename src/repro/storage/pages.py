@@ -23,21 +23,11 @@ constant number of logical pages, not by the document size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..errors import StorageError
 
 
 #: marker stored in the ``level`` column of unused tuples
 UNUSED = None
-
-
-@dataclass
-class PageMapEntry:
-    """One logical page: where it lives in the rid table and its pre position."""
-
-    rid_page: int       # sequence number of the page in the rid|size|level table
-    logical_page: int   # sequence number of the page in the pre view
 
 
 class PagedStructure:

@@ -1,0 +1,448 @@
+"""The versioned on-disk document store (directory-per-store format).
+
+A persisted store is a directory:
+
+.. code-block:: text
+
+    store/
+      catalog.json          # format version, store version, document index
+      d0001/                # one directory per document
+        size.col  level.col  kind.col  name_id.col  frag.col
+        attr_owner.col  attr_name.col
+        value.col  attr_value.col          # string heaps
+      d0002/ ...
+
+Integer columns are flat 64-bit buffers behind a small self-describing
+header; string columns are offsets-plus-UTF-8-blob heaps
+(:mod:`repro.storage.backends`).  The catalog records, per document, the
+name, ``order_key``, per-column byte counts and CRCs, the interned name
+pool and the shred-time tag statistics — everything a reopened store
+needs to be *warm* (no re-parse, no re-shred, optimizer statistics
+intact).
+
+**Atomic publish.**  Every file is written to a temporary sibling and
+``os.replace``\\ d into place; the catalog is always written *last*, so
+the catalog on disk only ever references complete column files.  Readers
+that already mapped an old column file keep their snapshot (POSIX rename
+leaves the old inode alive), which is exactly the snapshot discipline the
+in-memory :class:`~repro.xml.document.DocumentStore` guarantees.
+
+**Write-through.**  A store opened or saved through
+:meth:`DocumentStore.save` stays *bound* to its directory: document
+loads, drops and update commits rewrite only the column files whose
+content changed (unchanged files are recognised by byte count + CRC and
+skipped) and republish the catalog with the bumped store version.  The
+persisted version is restored on ``open()``, so plan-cache and
+subplan-cache keys — which embed the store version — remain valid across
+restarts.
+
+**Corruption detection.**  Structural checks (magic, header fields,
+exact file sizes against the catalog) always run at ``open()`` and cost
+``stat()`` only; they catch truncated and torn files.  ``verify=True``
+additionally CRC-checks every payload (reads all column data — the
+default for the RAM backend, which reads everything anyway; opt-in for
+mmap to keep cold starts O(1) in document size).  All failures raise
+:class:`~repro.errors.StorageError` naming the offending file.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..errors import StorageError
+from .backends import MmapBackend, StringHeapView, encode_string_heap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..xml.document import DocumentContainer
+
+
+#: bump when the directory layout / column encoding changes incompatibly
+STORE_FORMAT = 1
+
+CATALOG_NAME = "catalog.json"
+
+_MAGIC = b"RXQC"
+#: magic(4) version(u16) kind(u8) endian(u8) count(u64) aux(u64)
+_HEADER = struct.Struct("<4sHBBQQ")
+_KIND_INT = 0x69        # ord('i'): payload is count * 8 bytes of int64
+_KIND_STR = 0x73        # ord('s'): count (offset, length) pairs + aux blob bytes
+_ENDIAN = 0x3C if sys.byteorder == "little" else 0x3E    # '<' / '>'
+
+#: the container's integer columns, in catalog order
+INT_COLUMNS = ("size", "level", "kind", "name_id", "frag",
+               "attr_owner", "attr_name")
+#: the container's string columns (persisted as string heaps)
+STR_COLUMNS = ("value", "attr_value")
+
+
+# --------------------------------------------------------------------------- #
+# low-level file helpers
+# --------------------------------------------------------------------------- #
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a temporary sibling + ``os.replace``."""
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _int_payload(values: Sequence[int]) -> bytes:
+    if isinstance(values, array) and values.typecode == "q":
+        return values.tobytes()
+    if isinstance(values, memoryview):
+        return values.tobytes()
+    return array("q", values).tobytes()
+
+
+def encode_int_column(values: Sequence[int]) -> bytes:
+    """An integer column file image: header + raw int64 payload."""
+    payload = _int_payload(values)
+    header = _HEADER.pack(_MAGIC, STORE_FORMAT, _KIND_INT, _ENDIAN,
+                          len(payload) // 8, 0)
+    return header + payload
+
+
+def encode_str_column(values: Sequence[str | None]) -> bytes:
+    """A string column file image: header + offsets table + UTF-8 blob."""
+    entries, blob = encode_string_heap(values)
+    header = _HEADER.pack(_MAGIC, STORE_FORMAT, _KIND_STR, _ENDIAN,
+                          len(entries) // 16, len(blob))
+    return header + entries + blob
+
+
+def _parse_header(raw: bytes, path: Path) -> tuple[int, int, int]:
+    """Validate a column file header; returns ``(kind, count, aux)``."""
+    if len(raw) < _HEADER.size:
+        raise StorageError(f"column file {path} is truncated "
+                           f"({len(raw)} bytes, header needs {_HEADER.size})")
+    magic, fmt, kind, endian, count, aux = _HEADER.unpack_from(raw)
+    if magic != _MAGIC:
+        raise StorageError(f"column file {path} has a bad magic number")
+    if fmt != STORE_FORMAT:
+        raise StorageError(f"column file {path} has store format {fmt}, "
+                           f"this build reads format {STORE_FORMAT}")
+    if kind not in (_KIND_INT, _KIND_STR):
+        raise StorageError(f"column file {path} has unknown column kind "
+                           f"{kind:#x}")
+    if endian != _ENDIAN:
+        raise StorageError(f"column file {path} was written on a machine "
+                           "with different byte order")
+    return kind, count, aux
+
+
+def _expected_size(kind: int, count: int, aux: int) -> int:
+    if kind == _KIND_INT:
+        return _HEADER.size + count * 8
+    return _HEADER.size + count * 16 + aux
+
+
+def _check_file(path: Path, entry: dict, *, verify: bool) -> None:
+    """Structural (and optionally CRC) validation of one column file."""
+    try:
+        actual_size = path.stat().st_size
+    except OSError:
+        raise StorageError(f"column file {path} is missing") from None
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        kind, count, aux = _parse_header(header, path)
+        if count != entry["count"]:
+            raise StorageError(
+                f"column file {path} holds {count} entries, the catalog "
+                f"expects {entry['count']} (torn write?)")
+        expected = _expected_size(kind, count, aux)
+        if actual_size != expected:
+            raise StorageError(
+                f"column file {path} is {actual_size} bytes, expected "
+                f"{expected} (truncated or torn write)")
+        if verify:
+            crc = 0
+            while True:
+                chunk = handle.read(1 << 20)
+                if not chunk:
+                    break
+                crc = zlib.crc32(chunk, crc)
+            if crc != entry["crc"]:
+                raise StorageError(
+                    f"column file {path} fails its checksum "
+                    f"(stored {entry['crc']:#010x}, computed {crc:#010x})")
+
+
+def _read_column_bytes(path: Path, entry: dict) -> tuple[int, bytes, int]:
+    """Fully read a column file; returns ``(kind, payload, aux)``."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    kind, count, aux = _parse_header(raw, path)
+    expected = _expected_size(kind, count, aux)
+    if len(raw) != expected or count != entry["count"]:
+        raise StorageError(f"column file {path} is truncated or torn "
+                           f"({len(raw)} bytes, expected {expected})")
+    return kind, raw[_HEADER.size:], aux
+
+
+def _map_column(path: Path, entry: dict, maps: list[mmap.mmap]
+                ) -> "tuple[int, memoryview, int]":
+    """Map a column file read-only; returns ``(kind, payload view, aux)``."""
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:
+            raise StorageError(f"column file {path} is empty") from None
+    maps.append(mapped)
+    view = memoryview(mapped)
+    kind, count, aux = _parse_header(view[:_HEADER.size].tobytes(), path)
+    return kind, view[_HEADER.size:], aux
+
+
+# --------------------------------------------------------------------------- #
+# the bound store directory
+# --------------------------------------------------------------------------- #
+class StoreDirectory:
+    """A document store's on-disk home, bound for write-through.
+
+    Owns the catalog image and the per-document directories; all methods
+    are called by :class:`~repro.xml.document.DocumentStore` under its
+    exclusive write lock, so writers are serialized by construction.
+    """
+
+    def __init__(self, path: Path, catalog: dict):
+        self.path = Path(path)
+        self.catalog = catalog
+
+    # -- creation ---------------------------------------------------------- #
+    @classmethod
+    def create(cls, path: "Path | str") -> "StoreDirectory":
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        catalog = {"format": STORE_FORMAT, "store_version": 0,
+                   "order_counter": 0, "documents": {}}
+        return cls(path, catalog)
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "StoreDirectory":
+        path = Path(path)
+        catalog_path = path / CATALOG_NAME
+        try:
+            raw = catalog_path.read_text(encoding="utf-8")
+        except OSError:
+            raise StorageError(f"no store catalog at {catalog_path}") from None
+        try:
+            catalog = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"store catalog {catalog_path} is not valid JSON: {exc}"
+            ) from None
+        fmt = catalog.get("format")
+        if fmt != STORE_FORMAT:
+            raise StorageError(
+                f"store catalog {catalog_path} has format {fmt!r}, this "
+                f"build reads format {STORE_FORMAT}")
+        for key in ("store_version", "order_counter", "documents"):
+            if key not in catalog:
+                raise StorageError(
+                    f"store catalog {catalog_path} is missing {key!r}")
+        return cls(path, catalog)
+
+    # -- catalog ----------------------------------------------------------- #
+    @property
+    def store_version(self) -> int:
+        return self.catalog["store_version"]
+
+    def publish_catalog(self, *, store_version: int,
+                        order_counter: int) -> None:
+        """Atomically publish the catalog — the commit point of every save."""
+        self.catalog["store_version"] = store_version
+        self.catalog["order_counter"] = order_counter
+        data = json.dumps(self.catalog, indent=1, sort_keys=True).encode("utf-8")
+        _atomic_write(self.path / CATALOG_NAME, data)
+
+    def document_names(self) -> list[str]:
+        return list(self.catalog["documents"])
+
+    # -- writing ----------------------------------------------------------- #
+    def _document_dir(self, name: str) -> str:
+        entry = self.catalog["documents"].get(name)
+        if entry is not None:
+            return entry["dir"]
+        taken = {doc["dir"] for doc in self.catalog["documents"].values()}
+        index = len(taken) + 1
+        while f"d{index:04d}" in taken:
+            index += 1
+        return f"d{index:04d}"
+
+    def write_container(self, container: "DocumentContainer") -> None:
+        """Write a document's columns, skipping byte-identical files.
+
+        Updates the in-memory catalog entry; the change becomes visible to
+        future ``open()`` calls only at :meth:`publish_catalog`.
+        """
+        doc_dir = self._document_dir(container.name)
+        directory = self.path / doc_dir
+        directory.mkdir(exist_ok=True)
+        previous = self.catalog["documents"].get(container.name, {})
+        previous_columns = previous.get("columns", {})
+        columns: dict[str, dict] = {}
+        images: dict[str, bytes] = {}
+        for column_name in INT_COLUMNS:
+            images[column_name] = encode_int_column(
+                getattr(container, column_name))
+        for column_name in STR_COLUMNS:
+            images[column_name] = encode_str_column(
+                getattr(container, column_name))
+        for column_name, image in images.items():
+            payload = image[_HEADER.size:]
+            kind, count, _aux = _parse_header(
+                image, directory / f"{column_name}.col")
+            entry = {
+                "file": f"{column_name}.col",
+                "kind": "str" if kind == _KIND_STR else "i64",
+                "count": count,
+                "crc": zlib.crc32(payload),
+            }
+            columns[column_name] = entry
+            old = previous_columns.get(column_name)
+            target = directory / entry["file"]
+            if old == entry and target.exists() \
+                    and target.stat().st_size == len(image):
+                continue                      # unchanged column: keep the file
+            _atomic_write(target, image)
+        self.catalog["documents"][container.name] = {
+            "dir": doc_dir,
+            "order_key": container.order_key,
+            "node_count": container.node_count,
+            "attribute_count": container.attribute_count,
+            "names": [[qname.local, qname.namespace]
+                      for qname in container.names.all_names()],
+            "tag_counts": sorted(container._tag_counts.items()),
+            "columns": columns,
+        }
+
+    def remove_container(self, name: str) -> None:
+        """Drop a document from the catalog and best-effort delete its files."""
+        entry = self.catalog["documents"].pop(name, None)
+        if entry is None:
+            return
+        directory = self.path / entry["dir"]
+        for column in entry["columns"].values():
+            try:
+                (directory / column["file"]).unlink()
+            except OSError:
+                pass
+        try:
+            directory.rmdir()
+        except OSError:
+            pass
+
+    # -- reading ----------------------------------------------------------- #
+    def open_container(self, name: str, *, backend: str = "mmap",
+                       verify: bool | None = None) -> "DocumentContainer":
+        """Rebuild one document container from its column files.
+
+        ``backend="mmap"`` maps the columns read-only (out-of-core);
+        ``backend="ram"`` loads them fully into today's ``array('q')`` /
+        ``list`` buffers — the pure-RAM ablation path, byte-identical in
+        query results.  ``verify=None`` resolves to full CRC checking for
+        the RAM backend (it reads every byte anyway) and structural-only
+        checks for mmap.
+        """
+        from ..xml.document import DocumentContainer
+
+        entry = self.catalog["documents"].get(name)
+        if entry is None:
+            raise StorageError(f"store {self.path} has no document {name!r}")
+        if backend not in ("mmap", "ram"):
+            raise StorageError(f"unknown store backend {backend!r} "
+                               "(expected 'mmap' or 'ram')")
+        if verify is None:
+            verify = backend == "ram"
+        directory = self.path / entry["dir"]
+        for column_name, column in entry["columns"].items():
+            _check_file(directory / column["file"], column, verify=verify)
+
+        if backend == "mmap":
+            container = self._open_mmap(name, entry, directory)
+        else:
+            container = self._open_ram(name, entry, directory)
+        container.order_key = entry["order_key"]
+        for local, namespace in entry["names"]:
+            container.names.intern(local, namespace)
+        container._tag_counts = {int(name_id): count
+                                 for name_id, count in entry["tag_counts"]}
+        if container.node_count != entry["node_count"] \
+                or container.attribute_count != entry["attribute_count"]:
+            raise StorageError(
+                f"document {name!r} in store {self.path} has inconsistent "
+                "column lengths (catalog/file mismatch)")
+        return container
+
+    def _open_mmap(self, name: str, entry: dict,
+                   directory: Path) -> "DocumentContainer":
+        from ..xml.document import DocumentContainer
+
+        maps: list[mmap.mmap] = []
+        int_columns: dict[str, memoryview] = {}
+        str_columns: dict[str, StringHeapView] = {}
+        for column_name, column in entry["columns"].items():
+            path = directory / column["file"]
+            kind, payload, aux = _map_column(path, column, maps)
+            if kind == _KIND_INT:
+                int_columns[column_name] = payload.cast("q")
+            else:
+                pairs_end = len(payload) - aux
+                str_columns[column_name] = StringHeapView(
+                    payload[:pairs_end].cast("q"), payload[pairs_end:],
+                    str(path))
+        backend = MmapBackend(int_columns, str_columns, maps,
+                              label=str(self.path / entry["dir"]))
+        return DocumentContainer(name, 0, backend=backend)
+
+    def _open_ram(self, name: str, entry: dict,
+                  directory: Path) -> "DocumentContainer":
+        from ..xml.document import DocumentContainer
+
+        container = DocumentContainer(name, 0)
+        for column_name, column in entry["columns"].items():
+            path = directory / column["file"]
+            kind, payload, aux = _read_column_bytes(path, column)
+            if kind == _KIND_INT:
+                values = array("q")
+                values.frombytes(payload)
+                setattr(container, column_name, values)
+            else:
+                pairs_end = len(payload) - aux
+                entries = array("q")
+                entries.frombytes(payload[:pairs_end])
+                heap = StringHeapView(entries, payload[pairs_end:], str(path))
+                setattr(container, column_name, heap.tolist())
+        container._rebuild_attr_index()
+        return container
+
+
+# --------------------------------------------------------------------------- #
+# store-level save / open (called by DocumentStore under its lock)
+# --------------------------------------------------------------------------- #
+def save_store(path: "Path | str", containers: "list[DocumentContainer]", *,
+               store_version: int, order_counter: int) -> StoreDirectory:
+    """Persist a set of containers as a fresh (or refreshed) store."""
+    try:
+        persistence = StoreDirectory.load(path)
+    except StorageError:
+        persistence = StoreDirectory.create(path)
+    kept = {container.name for container in containers}
+    for stale in [name for name in persistence.document_names()
+                  if name not in kept]:
+        persistence.remove_container(stale)
+    for container in containers:
+        persistence.write_container(container)
+    persistence.publish_catalog(store_version=store_version,
+                                order_counter=order_counter)
+    return persistence

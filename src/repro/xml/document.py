@@ -30,6 +30,7 @@ from ..relational.column import Column, IntColumn
 from ..relational.properties import ColumnProps, TableProps
 from ..relational.table import Table
 from ..concurrency import ReadWriteLock
+from ..storage.backends import Backend, RamBackend
 from .names import NamePool, QName
 
 
@@ -112,27 +113,40 @@ class NodeRef:
 
 
 class DocumentContainer:
-    """One document (or the transient fragment store) in relational encoding."""
+    """One document (or the transient fragment store) in relational encoding.
 
-    def __init__(self, name: str, order_key: int, *, transient: bool = False):
+    The column buffers live on a pluggable :class:`~repro.storage.backends.
+    Backend`.  The default :class:`~repro.storage.backends.RamBackend`
+    serves appendable ``array('q')`` / ``list`` buffers (shredding appends
+    in C, the staircase joins scan without per-value unboxing); a
+    read-only :class:`~repro.storage.backends.MmapBackend` serves
+    ``memoryview`` / string-heap views over the column files of a
+    persisted store — queryable identically, paged in by the OS on demand.
+    """
+
+    def __init__(self, name: str, order_key: int, *, transient: bool = False,
+                 backend: Backend | None = None):
         self.name = name
         self.order_key = order_key
         self.transient = transient
+        self.backend = backend if backend is not None else RamBackend()
         self.names = NamePool()
-        # structural table (pre is the implicit dense row id); the integer
-        # columns are typed array('q') storage — shredding appends in C,
-        # and the staircase joins scan without per-value unboxing
-        self.size = array("q")
-        self.level = array("q")
-        self.kind = array("q")
-        self.name_id = array("q")            # name id for elements, -1 otherwise
-        self.value: list[str | None] = []    # text / comment / PI content
-        self.frag = array("q")               # fragment id (root pre of the fragment)
+        # structural table (pre is the implicit dense row id)
+        self.size = self.backend.int_column("size")
+        self.level = self.backend.int_column("level")
+        self.kind = self.backend.int_column("kind")
+        self.name_id = self.backend.int_column("name_id")   # -1 for non-elements
+        self.value = self.backend.str_column("value")   # text / comment / PI
+        self.frag = self.backend.int_column("frag")     # fragment root pre
         # attribute table
-        self.attr_owner = array("q")
-        self.attr_name = array("q")
-        self.attr_value: list[str] = []
-        self._attrs_by_owner: dict[int, list[int]] = {}
+        self.attr_owner = self.backend.int_column("attr_owner")
+        self.attr_name = self.backend.int_column("attr_name")
+        self.attr_value = self.backend.str_column("attr_value")
+        # owner -> attribute slots; maintained eagerly while building on a
+        # writable backend, built lazily on first use for read-only backends
+        # (a reopened store must not scan the attribute table at open time)
+        self._attrs_by_owner: dict[int, list[int]] | None = \
+            None if self.backend.readonly else {}
         # lazily built element-name index (nametest pushdown candidate lists)
         self._name_index: dict[int, list[int]] | None = None
         # per-tag element counts, maintained eagerly while shredding — the
@@ -146,6 +160,10 @@ class DocumentContainer:
                  value: str | None = None, frag: int | None = None,
                  size: int = 0) -> int:
         """Append a node; returns its preorder rank."""
+        if self.backend.readonly:
+            raise DocumentError(
+                f"container {self.name!r} is backed by a read-only store; "
+                "updates go through XMLUpdater / DocumentStore.replace")
         pre = len(self.size)
         self.size.append(size)
         self.level.append(level)
@@ -162,6 +180,10 @@ class DocumentContainer:
         self.size[pre] = size
 
     def add_attribute(self, owner: int, name_id: int, value: str) -> int:
+        if self.backend.readonly:
+            raise DocumentError(
+                f"container {self.name!r} is backed by a read-only store; "
+                "updates go through XMLUpdater / DocumentStore.replace")
         index = len(self.attr_owner)
         self.attr_owner.append(owner)
         self.attr_name.append(name_id)
@@ -192,7 +214,17 @@ class DocumentContainer:
 
     def attributes_of(self, pre: int) -> list[int]:
         """Attribute-table row indexes owned by the element at ``pre``."""
+        if self._attrs_by_owner is None:
+            self._rebuild_attr_index()
         return self._attrs_by_owner.get(pre, [])
+
+    def _rebuild_attr_index(self) -> None:
+        """(Re)build the owner → attribute-slot index from the attribute
+        table — used after bulk-loading the columns from a persisted store."""
+        index: dict[int, list[int]] = {}
+        for slot, owner in enumerate(self.attr_owner):
+            index.setdefault(owner, []).append(slot)
+        self._attrs_by_owner = index
 
     def root_pre(self, pre: int) -> int:
         """The root of the fragment containing ``pre`` (frag column)."""
@@ -294,30 +326,41 @@ class DocumentContainer:
     # ------------------------------------------------------------------ #
     # relational views
     # ------------------------------------------------------------------ #
+    def _snapshot(self, values: "array | memoryview") -> "array | memoryview":
+        """A stable int64 buffer for relational views.
+
+        Writable containers copy (the table must stay a consistent
+        materialised intermediate even if the container grows afterwards);
+        read-only backends never grow, so their views are adopted without
+        copying — a mapped store serves tables out-of-core.
+        """
+        if self.backend.readonly:
+            return values
+        return array("q", values)
+
     def structural_table(self) -> Table:
         """The ``pre|size|level|kind|name|frag`` table as a relational Table.
 
-        ``pre`` is a virtual dense column; the attribute columns are typed
-        ``i64`` snapshots (copied so the table stays a consistent
-        materialised intermediate even if the container grows afterwards).
+        ``pre`` is a virtual dense column; the other columns are typed
+        ``i64`` snapshots (zero-copy views on a read-only backend).
         """
         pre = Column.dense("pre", self.node_count)
         props = TableProps(order=("pre",))
         columns = [
             pre,
-            IntColumn("size", array("q", self.size)),
-            IntColumn("level", array("q", self.level)),
-            IntColumn("kind", array("q", self.kind)),
-            IntColumn("name", array("q", self.name_id)),
-            IntColumn("frag", array("q", self.frag)),
+            IntColumn("size", self._snapshot(self.size)),
+            IntColumn("level", self._snapshot(self.level)),
+            IntColumn("kind", self._snapshot(self.kind)),
+            IntColumn("name", self._snapshot(self.name_id)),
+            IntColumn("frag", self._snapshot(self.frag)),
         ]
         return Table(columns, props=props)
 
     def attribute_table(self) -> Table:
         """The attribute property container as a relational Table."""
         columns = [
-            IntColumn("owner", array("q", self.attr_owner)),
-            IntColumn("name", array("q", self.attr_name)),
+            IntColumn("owner", self._snapshot(self.attr_owner)),
+            IntColumn("name", self._snapshot(self.attr_name)),
             Column("value", self.attr_value),
         ]
         return Table(columns, props=TableProps(order=("owner",)))
@@ -380,15 +423,85 @@ class DocumentStore:
         self._order_counter = 0
         self._version = 0
         self._lock = ReadWriteLock()
+        # the on-disk home of the store, once save()/open() bound one;
+        # every version bump writes through to it under the write lock
+        self._persistence: Any = None
 
     @property
     def version(self) -> int:
         """Schema version: bumped whenever the set of loaded documents
         changes (load, register, drop, update commit).  Prepared query
         plans and materialized subplan results are cached against this
-        number."""
+        number; a persisted store restores it on :meth:`open`, so cached
+        artifacts stay correctly keyed across restarts."""
         with self._lock.read_locked():
             return self._version
+
+    # ------------------------------------------------------------------ #
+    # persistence (storage.persist)
+    # ------------------------------------------------------------------ #
+    def save(self, path: "str | Any") -> None:
+        """Persist every loaded document under ``path`` and stay bound.
+
+        Publishes the directory-per-store format of
+        :mod:`repro.storage.persist` (column files + catalog, atomically).
+        After a save the store *writes through*: loads, drops and update
+        commits rewrite the changed column files and republish the catalog
+        with the bumped store version.
+        """
+        from ..storage.persist import save_store
+        with self._lock.write_locked():
+            containers = list(self._documents.values())
+            self._persistence = save_store(
+                path, containers, store_version=self._version,
+                order_counter=self._order_counter)
+
+    @classmethod
+    def open(cls, path: "str | Any", *, backend: str = "mmap",
+             verify: bool | None = None) -> "DocumentStore":
+        """Reopen a persisted store — warm, with no re-parse or re-shred.
+
+        ``backend="mmap"`` serves the documents out-of-core from mapped
+        column files; ``backend="ram"`` loads them into ordinary
+        ``array('q')`` / ``list`` buffers (the pure-RAM path, byte-identical
+        query results).  The persisted schema version, document order keys
+        and shred-time tag statistics are restored, and the store stays
+        bound to the directory for write-through.
+        """
+        from ..storage.persist import StoreDirectory
+        persistence = StoreDirectory.load(path)
+        store = cls()
+        for name in persistence.document_names():
+            store._documents[name] = persistence.open_container(
+                name, backend=backend, verify=verify)
+        store._version = persistence.catalog["store_version"]
+        store._order_counter = persistence.catalog["order_counter"]
+        store._persistence = persistence
+        return store
+
+    def _write_through(self, container: "DocumentContainer | None" = None, *,
+                       removed: str | None = None) -> None:
+        """Mirror one catalog change to the bound store directory.
+
+        Caller holds the write lock (writers are serialized).  Only changed
+        column files are rewritten; republishing the catalog is the atomic
+        commit point, so a crash mid-write leaves the previous catalog —
+        and therefore a consistent store — in place.
+        """
+        if self._persistence is None:
+            return
+        if removed is not None:
+            self._persistence.remove_container(removed)
+        if container is not None and not container.transient:
+            self._persistence.write_container(container)
+        self._persistence.publish_catalog(
+            store_version=self._version, order_counter=self._order_counter)
+
+    def close(self) -> None:
+        """Release backend resources (mapped column files) of all documents."""
+        with self._lock.write_locked():
+            for container in self._documents.values():
+                container.backend.close()
 
     def new_container(self, name: str, *, transient: bool = False) -> DocumentContainer:
         with self._lock.write_locked():
@@ -400,6 +513,7 @@ class DocumentStore:
             if not transient:
                 self._documents[name] = container
                 self._version += 1
+                self._write_through(container)
             return container
 
     def detached_container(self, name: str) -> DocumentContainer:
@@ -423,6 +537,7 @@ class DocumentStore:
                 raise DocumentError(f"document {container.name!r} already loaded")
             self._documents[container.name] = container
             self._version += 1
+            self._write_through(container)
 
     def replace(self, container: DocumentContainer) -> None:
         """Atomically swap a loaded document for an updated container.
@@ -438,6 +553,7 @@ class DocumentStore:
                 raise DocumentError(f"document {container.name!r} is not loaded")
             self._documents[container.name] = container
             self._version += 1
+            self._write_through(container)
 
     def get(self, name: str) -> DocumentContainer:
         with self._lock.read_locked():
@@ -452,6 +568,7 @@ class DocumentStore:
                 raise DocumentError(f"document {name!r} is not loaded")
             del self._documents[name]
             self._version += 1
+            self._write_through(removed=name)
 
     def names(self) -> list[str]:
         with self._lock.read_locked():

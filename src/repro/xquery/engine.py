@@ -202,12 +202,25 @@ class MonetXQuery:
     """
 
     def __init__(self, options: EngineOptions | None = None, *,
+                 store_path: Any = None, store_backend: str = "mmap",
+                 store_verify: bool | None = None,
                  plan_cache_size: int = 64, subplan_cache: Any = None):
         self.options = options if options is not None else EngineOptions()
-        self.store = DocumentStore()
+        self._default_context: str | None = None
+        if store_path is not None:
+            # reopen a persisted store: warm (no re-shred), statistics and
+            # schema version restored; "mmap" serves documents out-of-core,
+            # "ram" loads them into plain array('q')/list buffers
+            self.store = DocumentStore.open(store_path, backend=store_backend,
+                                            verify=store_verify)
+            documents = self.store.containers()
+            if documents:
+                first = min(documents, key=lambda c: c.order_key)
+                self._default_context = first.name
+        else:
+            self.store = DocumentStore()
         self.transient = self.store.new_container("(transient)", transient=True)
         self.subplan_cache = subplan_cache
-        self._default_context: str | None = None
         self.plan_cache_size = plan_cache_size
         self.plan_cache_stats = PlanCacheStats()
         self._plan_cache: OrderedDict[tuple, PreparedQuery] = OrderedDict()
@@ -244,6 +257,14 @@ class MonetXQuery:
         self.store.drop(name)
         if self._default_context == name:
             self._default_context = None
+
+    def save_store(self, path: Any) -> None:
+        """Persist the loaded documents under ``path`` and stay bound.
+
+        After a save the store writes through: later loads, drops and
+        update commits keep the on-disk copy current, and a new engine
+        constructed with ``store_path=path`` starts warm."""
+        self.store.save(path)
 
     def set_default_context(self, name: str) -> None:
         if name not in self.store:

@@ -1,0 +1,448 @@
+"""The persistent document store: save / reopen / write-through / corruption.
+
+Covers the storage-backend seam (``RamBackend`` vs ``MmapBackend``), the
+directory-per-store on-disk format (:mod:`repro.storage.persist`), warm
+restarts (a reopened store answers queries with *no* re-parse/re-shred and
+with the optimizer statistics intact), update-commit write-through, and
+the failure modes: truncated column files, bit-flips, catalog mismatches —
+every one must surface as a :class:`~repro.errors.StorageError` naming the
+offending file, never as garbage results.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import EngineOptions, MonetXQuery
+from repro.errors import DocumentError, StorageError
+from repro.relational.cardinality import StoreStatistics
+from repro.storage.backends import (HEAP_NONE, MmapBackend, RamBackend,
+                                    StringHeapView, encode_string_heap)
+from repro.storage.persist import STORE_FORMAT, StoreDirectory
+from repro.xml.document import DocumentStore
+
+from conftest import SMALL_XML
+from test_differential import OPTION_NAMES, generated_queries
+
+#: every query of the differential corpus that does not construct nodes is
+#: usable against a read-only store as-is; constructors write into the
+#: (always RAM-backed) transient container, so all of them are usable
+PERSISTENCE_COMBINATION_SEED = 70101
+PERSISTENCE_COMBINATION_COUNT = 4
+
+
+def persisted_path(tmp_path):
+    return tmp_path / "store"
+
+
+@pytest.fixture
+def saved_engine(tmp_path):
+    """An engine with the fixture document loaded, saved to disk."""
+    engine = MonetXQuery()
+    engine.load_document_text(SMALL_XML, name="auction.xml")
+    engine.save_store(persisted_path(tmp_path))
+    return engine
+
+
+def ablation_configurations():
+    """Default + sampled multi-switch combos (seeded, reproducible)."""
+    configurations = [("default", EngineOptions())]
+    rng = random.Random(PERSISTENCE_COMBINATION_SEED)
+    for index in range(PERSISTENCE_COMBINATION_COUNT):
+        flipped = rng.sample(OPTION_NAMES, rng.randint(2, len(OPTION_NAMES)))
+        configurations.append(
+            (f"combo-{index}", EngineOptions(**{name: False
+                                                for name in flipped})))
+    return configurations
+
+
+# --------------------------------------------------------------------------- #
+# save → reopen equivalence (the differential harness over the store)
+# --------------------------------------------------------------------------- #
+class TestRoundTrip:
+    @pytest.mark.parametrize("backend", ["mmap", "ram"])
+    def test_persisted_results_bit_identical(self, saved_engine, tmp_path,
+                                             backend):
+        """Every generated query, under sampled ablation combos, must
+        serialize identically from the persisted store (both backends)
+        and from the in-RAM original."""
+        reopened = MonetXQuery(store_path=persisted_path(tmp_path),
+                               store_backend=backend)
+        try:
+            for config_name, options in ablation_configurations():
+                for query in generated_queries():
+                    expected = saved_engine.query(query,
+                                                  options=options).serialize()
+                    actual = reopened.query(query, options=options).serialize()
+                    assert actual == expected, (
+                        f"{backend} store diverged under {config_name!r} "
+                        f"on:\n{query}")
+        finally:
+            reopened.store.close()
+
+    def test_ram_switch_restores_pure_ram_path(self, saved_engine, tmp_path):
+        """backend='ram' must leave no mapped buffers behind: every column
+        is an ordinary array('q') / list, exactly the pre-persistence
+        representation."""
+        from array import array
+
+        store = DocumentStore.open(persisted_path(tmp_path), backend="ram")
+        container = store.get("auction.xml")
+        assert isinstance(container.backend, RamBackend) \
+            or not container.backend.readonly
+        for name in ("size", "level", "kind", "name_id", "frag",
+                     "attr_owner", "attr_name"):
+            assert isinstance(getattr(container, name), array)
+        assert isinstance(container.value, list)
+        assert isinstance(container.attr_value, list)
+
+    def test_mmap_columns_are_views(self, saved_engine, tmp_path):
+        store = DocumentStore.open(persisted_path(tmp_path))
+        container = store.get("auction.xml")
+        assert container.backend.readonly
+        assert isinstance(container.size, memoryview)
+        assert isinstance(container.value, StringHeapView)
+        store.close()
+
+    def test_reopen_is_warm_no_reshred(self, saved_engine, tmp_path,
+                                       monkeypatch):
+        """A reopened store must never touch the XML parser/shredder."""
+        import repro.xml.shredder as shredder
+
+        def explode(*args, **kwargs):     # pragma: no cover - must not run
+            raise AssertionError("reopen must not re-shred")
+
+        monkeypatch.setattr(shredder, "shred_document", explode)
+        monkeypatch.setattr(shredder, "shred_file", explode)
+        engine = MonetXQuery(store_path=persisted_path(tmp_path))
+        assert engine.query("count(//person)").items == \
+            saved_engine.query("count(//person)").items
+        engine.store.close()
+
+    def test_statistics_rehydrated(self, saved_engine, tmp_path):
+        """The shred-time tag statistics feed the cost-based optimizer; a
+        reopened store must expose the identical snapshot."""
+        expected = StoreStatistics.from_store(saved_engine.store)
+        for backend in ("mmap", "ram"):
+            store = DocumentStore.open(persisted_path(tmp_path),
+                                       backend=backend)
+            restored = StoreStatistics.from_store(store)
+            assert restored.tag_counts == dict(expected.tag_counts)
+            assert restored.total_nodes == expected.total_nodes
+            assert restored.total_elements == expected.total_elements
+            store.close()
+
+    def test_version_and_order_key_survive(self, saved_engine, tmp_path):
+        store = DocumentStore.open(persisted_path(tmp_path))
+        assert store.version == saved_engine.store.version
+        assert store.get("auction.xml").order_key == \
+            saved_engine.store.get("auction.xml").order_key
+        store.close()
+
+    def test_multiple_documents(self, tmp_path):
+        engine = MonetXQuery()
+        engine.load_document_text("<a><x/></a>", name="one.xml")
+        engine.load_document_text("<b><y/><y/></b>", name="two.xml")
+        engine.save_store(persisted_path(tmp_path))
+        reopened = MonetXQuery(store_path=persisted_path(tmp_path))
+        assert sorted(reopened.store.names()) == ["one.xml", "two.xml"]
+        assert reopened.query("count(doc('two.xml')//y)").items == [2]
+        # document order across containers is the persisted order_key
+        assert reopened.store.get("one.xml").order_key \
+            < reopened.store.get("two.xml").order_key
+        reopened.store.close()
+
+
+# --------------------------------------------------------------------------- #
+# write-through: loads, drops and update commits keep the directory current
+# --------------------------------------------------------------------------- #
+class TestWriteThrough:
+    def test_load_after_save_is_persisted(self, saved_engine, tmp_path):
+        saved_engine.load_document_text("<extra><n/></extra>", name="extra.xml")
+        reopened = MonetXQuery(store_path=persisted_path(tmp_path))
+        assert "extra.xml" in reopened.store.names()
+        assert reopened.query("count(doc('extra.xml')//n)").items == [1]
+        reopened.store.close()
+
+    def test_drop_after_save_is_persisted(self, saved_engine, tmp_path):
+        saved_engine.load_document_text("<extra/>", name="extra.xml")
+        saved_engine.drop_document("extra.xml")
+        store = DocumentStore.open(persisted_path(tmp_path))
+        assert store.names() == ["auction.xml"]
+        store.close()
+
+    def test_update_commit_round_trip(self, saved_engine, tmp_path):
+        """An XMLUpdater commit (which runs through the page-wise updatable
+        layout) must write through; a reopen sees the updated document with
+        the order_key preserved and the store version advanced."""
+        from repro import XMLUpdater
+
+        version_before = saved_engine.store.version
+        order_key = saved_engine.store.get("auction.xml").order_key
+        updater = XMLUpdater(saved_engine, "auction.xml")
+        target = updater.select("/site/people")[0]
+        updater.insert_last(target, '<person id="person9"><name>Zoe</name>'
+                                    "</person>")
+        updater.commit()
+        assert saved_engine.store.version == version_before + 1
+
+        reopened = MonetXQuery(store_path=persisted_path(tmp_path))
+        assert reopened.store.version == version_before + 1
+        assert reopened.store.get("auction.xml").order_key == order_key
+        assert reopened.query('//person[@id = "person9"]/name/text()'
+                              ).strings() == ["Zoe"]
+        assert reopened.query("count(//person)").items == \
+            saved_engine.query("count(//person)").items
+        reopened.store.close()
+
+    def test_unchanged_columns_are_not_rewritten(self, saved_engine, tmp_path):
+        """A second save (or a commit touching another document) must skip
+        byte-identical column files — recognised by count + CRC."""
+        import os
+
+        store_dir = persisted_path(tmp_path)
+        catalog = json.loads((store_dir / "catalog.json").read_text())
+        doc_dir = store_dir / catalog["documents"]["auction.xml"]["dir"]
+        before = {path.name: os.stat(path).st_mtime_ns
+                  for path in doc_dir.glob("*.col")}
+        saved_engine.load_document_text("<other/>", name="other.xml")
+        after = {path.name: os.stat(path).st_mtime_ns
+                 for path in doc_dir.glob("*.col")}
+        assert after == before
+
+    def test_commit_on_reopened_mmap_store(self, saved_engine, tmp_path):
+        """The full cycle on a mapped store: reopen, update through the
+        page-wise layout, commit (write-through), reopen again."""
+        from repro import XMLUpdater
+
+        engine = MonetXQuery(store_path=persisted_path(tmp_path))
+        updater = XMLUpdater(engine, "auction.xml")
+        target = updater.select("/site/regions/europe/item[1]")[0]
+        updater.set_attribute(target, "featured", "yes")
+        updater.commit()
+        assert engine.query("count(//item[@featured])").items == [1]
+
+        second = MonetXQuery(store_path=persisted_path(tmp_path))
+        assert second.query("count(//item[@featured])").items == [1]
+        assert second.store.version == engine.store.version
+        second.store.close()
+        engine.store.close()
+
+    def test_readonly_container_rejects_direct_mutation(self, saved_engine,
+                                                        tmp_path):
+        from repro.xml.document import NodeKind
+
+        store = DocumentStore.open(persisted_path(tmp_path))
+        container = store.get("auction.xml")
+        with pytest.raises(DocumentError, match="read-only"):
+            container.add_node(NodeKind.TEXT, 1, value="x")
+        with pytest.raises(DocumentError, match="read-only"):
+            container.add_attribute(0, 0, "x")
+        store.close()
+
+
+# --------------------------------------------------------------------------- #
+# corruption: truncation, bit-flips, catalog mismatches
+# --------------------------------------------------------------------------- #
+class TestCorruption:
+    def _store_file(self, tmp_path, name="size.col"):
+        store_dir = persisted_path(tmp_path)
+        catalog = json.loads((store_dir / "catalog.json").read_text())
+        doc_dir = store_dir / catalog["documents"]["auction.xml"]["dir"]
+        return doc_dir / name
+
+    def test_truncated_column_file(self, saved_engine, tmp_path):
+        target = self._store_file(tmp_path)
+        raw = target.read_bytes()
+        target.write_bytes(raw[:len(raw) // 2])
+        with pytest.raises(StorageError, match="size.col"):
+            DocumentStore.open(persisted_path(tmp_path))
+
+    def test_truncated_to_partial_header(self, saved_engine, tmp_path):
+        target = self._store_file(tmp_path, "level.col")
+        target.write_bytes(target.read_bytes()[:7])
+        with pytest.raises(StorageError, match="level.col"):
+            DocumentStore.open(persisted_path(tmp_path))
+
+    def test_header_bit_flip(self, saved_engine, tmp_path):
+        """Flipping bits in the header (magic / count) is always caught,
+        for both backends, without reading the payload."""
+        target = self._store_file(tmp_path, "kind.col")
+        raw = bytearray(target.read_bytes())
+        raw[1] ^= 0xFF                       # magic
+        target.write_bytes(bytes(raw))
+        for backend in ("mmap", "ram"):
+            with pytest.raises(StorageError, match="kind.col"):
+                DocumentStore.open(persisted_path(tmp_path), backend=backend)
+
+    def test_count_bit_flip(self, saved_engine, tmp_path):
+        target = self._store_file(tmp_path, "name_id.col")
+        raw = bytearray(target.read_bytes())
+        raw[8] ^= 0x01                       # low byte of the tuple count
+        target.write_bytes(bytes(raw))
+        with pytest.raises(StorageError, match="name_id.col"):
+            DocumentStore.open(persisted_path(tmp_path))
+
+    def test_payload_bit_flip_caught_by_crc(self, saved_engine, tmp_path):
+        """A payload flip keeps the structure intact; verify=True (the RAM
+        default) catches it via the catalog CRC."""
+        target = self._store_file(tmp_path, "frag.col")
+        raw = bytearray(target.read_bytes())
+        raw[-3] ^= 0x10
+        target.write_bytes(bytes(raw))
+        with pytest.raises(StorageError, match="frag.col"):
+            DocumentStore.open(persisted_path(tmp_path), backend="ram")
+        # opt-in verification catches it on the mmap path too
+        with pytest.raises(StorageError, match="frag.col"):
+            DocumentStore.open(persisted_path(tmp_path), verify=True)
+
+    def test_heap_offset_flip_fails_cleanly_at_access(self, saved_engine,
+                                                      tmp_path):
+        """Without CRC verification a flipped heap *offset* must still never
+        return garbage: the bounds check fires at access time."""
+        import struct
+
+        target = self._store_file(tmp_path, "value.col")
+        raw = bytearray(target.read_bytes())
+        header_size = struct.calcsize("<4sHBBQQ")
+        # first heap entry with a real payload: push its offset far outside
+        count = struct.unpack_from("<Q", raw, 8)[0]
+        for index in range(count):
+            base = header_size + 16 * index
+            offset, length = struct.unpack_from("<qq", raw, base)
+            if length > 0:
+                struct.pack_into("<qq", raw, base, 1 << 40, length)
+                break
+        target.write_bytes(bytes(raw))
+        store = DocumentStore.open(persisted_path(tmp_path), backend="mmap",
+                                   verify=False)
+        container = store.get("auction.xml")
+        with pytest.raises(StorageError, match="value.col"):
+            for index in range(len(container.value)):
+                container.value[index]
+        store.close()
+
+    def test_missing_column_file(self, saved_engine, tmp_path):
+        self._store_file(tmp_path, "attr_owner.col").unlink()
+        with pytest.raises(StorageError, match="attr_owner.col"):
+            DocumentStore.open(persisted_path(tmp_path))
+
+    def test_catalog_not_json(self, saved_engine, tmp_path):
+        (persisted_path(tmp_path) / "catalog.json").write_text("{nope")
+        with pytest.raises(StorageError, match="catalog.json"):
+            DocumentStore.open(persisted_path(tmp_path))
+
+    def test_catalog_format_mismatch(self, saved_engine, tmp_path):
+        catalog_path = persisted_path(tmp_path) / "catalog.json"
+        catalog = json.loads(catalog_path.read_text())
+        catalog["format"] = STORE_FORMAT + 1
+        catalog_path.write_text(json.dumps(catalog))
+        with pytest.raises(StorageError, match="format"):
+            DocumentStore.open(persisted_path(tmp_path))
+
+    def test_missing_catalog(self, tmp_path):
+        with pytest.raises(StorageError, match="catalog"):
+            DocumentStore.open(tmp_path / "nowhere")
+
+    def test_column_count_vs_catalog_mismatch(self, saved_engine, tmp_path):
+        """A stale column file (right structure, wrong tuple count against
+        the catalog) is the torn-write signature after a partial publish."""
+        from repro.storage.persist import encode_int_column
+
+        target = self._store_file(tmp_path, "size.col")
+        target.write_bytes(encode_int_column([1, 2, 3]))
+        with pytest.raises(StorageError, match="size.col"):
+            DocumentStore.open(persisted_path(tmp_path))
+
+
+# --------------------------------------------------------------------------- #
+# the string heap and the backend protocol in isolation
+# --------------------------------------------------------------------------- #
+class TestStringHeap:
+    def test_round_trip_with_nones_and_unicode(self):
+        values = ["plain", None, "", "smörgåsbord", "a\nb", None, "✓"]
+        offsets, blob = encode_string_heap(values)
+        from array import array
+        entries = array("q")
+        entries.frombytes(offsets)
+        heap = StringHeapView(entries, blob, "test.col")
+        assert heap.tolist() == values
+        assert len(heap) == len(values)
+        assert heap[3] == "smörgåsbord"
+        assert heap[-1] == "✓"
+        assert heap[1] is None
+
+    def test_none_sentinel(self):
+        offsets, blob = encode_string_heap([None])
+        from array import array
+        entries = array("q")
+        entries.frombytes(offsets)
+        assert list(entries) == [0, HEAP_NONE]
+        assert blob == b""
+
+    def test_out_of_range_index(self):
+        offsets, blob = encode_string_heap(["x"])
+        from array import array
+        entries = array("q")
+        entries.frombytes(offsets)
+        heap = StringHeapView(entries, blob, "test.col")
+        with pytest.raises(IndexError):
+            heap[1]
+
+    def test_truncated_offsets_table_rejected(self):
+        from array import array
+        with pytest.raises(StorageError, match="truncated"):
+            StringHeapView(array("q", [0]), b"", "test.col")
+
+    def test_mmap_backend_unknown_column(self):
+        backend = MmapBackend({}, {}, label="store/d0001")
+        with pytest.raises(StorageError, match="store/d0001"):
+            backend.int_column("size")
+        with pytest.raises(StorageError, match="store/d0001"):
+            backend.str_column("value")
+        backend.close()                        # idempotent on empty
+        backend.close()
+
+
+# --------------------------------------------------------------------------- #
+# the page-wise updatable layout stays wired into the persistence flow
+# --------------------------------------------------------------------------- #
+class TestPagedStructureWiring:
+    def test_exported_through_storage_package(self):
+        import repro.storage as storage
+
+        assert storage.PagedStructure is not None
+        assert "PagedStructure" in storage.__all__
+        # the dead page-map record type is gone
+        assert not hasattr(storage, "PageMapEntry")
+
+    def test_update_flow_runs_through_pages(self, saved_engine, tmp_path,
+                                            monkeypatch):
+        """The commit path of the previous test class must actually pass
+        through PagedStructure — guard against the updatable layer silently
+        bypassing the page-wise layout."""
+        from repro.storage.pages import PagedStructure
+        from repro import XMLUpdater
+
+        seen = {"count": 0}
+        original = PagedStructure.append_page
+
+        def counting(self, *args, **kwargs):
+            seen["count"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(PagedStructure, "append_page", counting)
+        updater = XMLUpdater(saved_engine, "auction.xml")
+        target = updater.select("/site/people")[0]
+        updater.insert_last(target, "<person id='pp'/>")
+        updater.commit()
+        assert seen["count"] > 0
+        # ... and the committed state is on disk
+        store = DocumentStore.open(persisted_path(tmp_path))
+        assert store.version == saved_engine.store.version
+        assert store.get("auction.xml").node_count == \
+            saved_engine.store.get("auction.xml").node_count
+        store.close()
