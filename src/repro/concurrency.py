@@ -5,13 +5,19 @@ library), so the document store, the storage layer and the server package
 can all share one :class:`ReadWriteLock` implementation without import
 cycles.  It is re-exported from :mod:`repro.storage.locking` next to the
 paper's delta-ledger locking discussion.
+
+:class:`EpochTracker` is the reclamation protocol of the process-parallel
+serving layer: shared-memory segment sets are published as numbered
+*epochs* (generations), readers pin the epoch they were dispatched
+against, and a retired epoch's resources (its closer callback — segment
+unlinking) run only once the last pinned reader drains.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 
 class ReadWriteLock:
@@ -78,3 +84,86 @@ class ReadWriteLock:
             yield
         finally:
             self.release_write()
+
+
+class EpochTracker:
+    """Refcounted epochs with deferred resource reclamation.
+
+    The process-serving publication protocol: every published shared-memory
+    generation is opened as an epoch with a *closer* (the callback that
+    unlinks the segments only that generation references).  Each dispatched
+    reader :meth:`enter`\\ s the epoch current at submit time and
+    :meth:`exit`\\ s it when its future completes.  Publishing the next
+    generation :meth:`retire`\\ s the previous one; the retired epoch's
+    closer runs exactly once, as soon as its reader count drains to zero
+    (immediately, when nothing is in flight).
+
+    Closers run *outside* the tracker's lock, so a closer may take other
+    locks (the server's publication lock) without lock-order inversion.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # epoch -> [readers, retired, closer]
+        self._epochs: dict[int, list] = {}
+
+    def open(self, epoch: int, closer: "Callable[[], None] | None" = None) -> None:
+        """Register a new epoch (the now-current generation)."""
+        with self._lock:
+            if epoch in self._epochs:
+                raise ValueError(f"epoch {epoch} is already open")
+            self._epochs[epoch] = [0, False, closer]
+
+    def enter(self, epoch: int) -> None:
+        """Pin an epoch for one reader (must be open)."""
+        with self._lock:
+            try:
+                self._epochs[epoch][0] += 1
+            except KeyError:
+                raise ValueError(f"epoch {epoch} is not open") from None
+
+    def exit(self, epoch: int) -> None:
+        """Release one reader's pin; reclaims a drained retired epoch."""
+        closer = None
+        with self._lock:
+            entry = self._epochs.get(epoch)
+            if entry is None:       # already reclaimed (double exit is a bug,
+                return              # but never worth crashing a done-callback)
+            entry[0] -= 1
+            if entry[1] and entry[0] <= 0:
+                closer = entry[2]
+                del self._epochs[epoch]
+        if closer is not None:
+            closer()
+
+    def retire(self, epoch: int) -> None:
+        """Mark an epoch stale; its closer runs when readers drain."""
+        closer = None
+        with self._lock:
+            entry = self._epochs.get(epoch)
+            if entry is None:
+                return
+            entry[1] = True
+            if entry[0] <= 0:
+                closer = entry[2]
+                del self._epochs[epoch]
+        if closer is not None:
+            closer()
+
+    def retire_all(self) -> None:
+        """Retire every open epoch (server shutdown); drained ones reclaim."""
+        with self._lock:
+            epochs = list(self._epochs)
+        for epoch in epochs:
+            self.retire(epoch)
+
+    def readers(self, epoch: int) -> int:
+        """The current reader count of an epoch (0 when unknown)."""
+        with self._lock:
+            entry = self._epochs.get(epoch)
+            return entry[0] if entry is not None else 0
+
+    def live_epochs(self) -> list[int]:
+        """Epochs not yet reclaimed (diagnostics/tests)."""
+        with self._lock:
+            return sorted(self._epochs)

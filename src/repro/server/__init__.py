@@ -8,11 +8,13 @@ materialized subplan cache (:class:`SubplanCache`).
     [1]
 """
 
+from .procworker import RemoteQueryResult
 from .server import QueryServer, ServerStats
 from .subplan_cache import SubplanCache, SubplanCacheStats
 
 __all__ = [
     "QueryServer",
+    "RemoteQueryResult",
     "ServerStats",
     "SubplanCache",
     "SubplanCacheStats",

@@ -1,0 +1,110 @@
+"""Worker-process side of the process-parallel serving layer.
+
+Each pool worker keeps one attached engine per shared-store *generation*:
+the first task of a new generation attaches the published shared-memory
+segments by name (:meth:`MonetXQuery.attach_shared`) and builds a warm
+engine over them — plan cache, cross-query subplan cache and optimizer
+statistics all worker-local, all keyed on the same store version as the
+parent's.  Subsequent tasks of the same generation reuse the attachment,
+so repeated query texts hit the worker's prepared-plan cache exactly as
+they would in thread mode.
+
+When a task carries a *newer* generation (the parent committed an update
+and republished), the worker closes its old attachment — detaching its
+mapping of the superseded segments — and attaches the new segment set.
+Tasks pinned to an older generation can still arrive out of order around
+a publication; the parent's epoch protocol guarantees their segments stay
+linked until those tasks drain, so re-attaching by name always succeeds.
+
+Results cross the process boundary as :class:`RemoteQueryResult`: the
+serialized XML plus the stringified items — plain picklable data, no node
+surrogates (a ``NodeRef`` is only meaningful inside the process whose
+storage it points into).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+from ..xquery.engine import EngineOptions, MonetXQuery
+
+
+@dataclass
+class RemoteQueryResult:
+    """A query result marshalled back from a pool worker.
+
+    Mirrors the read-side surface of
+    :class:`~repro.xquery.engine.QueryResult` (``serialize()``,
+    ``strings()``, ``len()``) over pre-rendered picklable fields.
+    """
+
+    serialized: str
+    string_values: list[str] = field(default_factory=list)
+    count: int = 0
+    elapsed_seconds: float = 0.0
+    generation: int = 0
+
+    def serialize(self) -> str:
+        return self.serialized
+
+    def strings(self) -> list[str]:
+        return list(self.string_values)
+
+    def __len__(self) -> int:
+        return self.count
+
+
+#: this worker's attached engine: (generation, MonetXQuery) or None
+_ATTACHED: "tuple[int, MonetXQuery] | None" = None
+
+
+def _engine_for(catalog_blob: bytes, generation: int) -> MonetXQuery:
+    """The worker's engine for ``generation``, attaching if necessary."""
+    global _ATTACHED
+    if _ATTACHED is not None and _ATTACHED[0] == generation:
+        return _ATTACHED[1]
+    from .subplan_cache import SubplanCache
+    if _ATTACHED is not None:
+        _ATTACHED[1].store.close()      # detach the superseded segment set
+        _ATTACHED = None
+    catalog = pickle.loads(catalog_blob)
+    engine = MonetXQuery.attach_shared(catalog,
+                                       subplan_cache=SubplanCache(256))
+    _ATTACHED = (generation, engine)
+    return engine
+
+
+def run_query(catalog_blob: bytes, generation: int, query: str,
+              context: "str | None",
+              options: "EngineOptions | None") -> RemoteQueryResult:
+    """Execute one query against the attached shared store.
+
+    Runs in a pool worker; tasks are processed serially per worker, so no
+    locking is needed around the attachment swap.  Constructed nodes go
+    to a private transient container per execution, mirroring
+    ``QueryServer.execute_prepared``.
+    """
+    engine = _engine_for(catalog_blob, generation)
+    prepared = engine.prepare(query, options=options)
+    transient = engine.store.new_container("(transient)", transient=True)
+    result = engine._run_prepared(prepared, context=context,
+                                  transient=transient)
+    return RemoteQueryResult(
+        serialized=result.serialize(),
+        string_values=result.strings(),
+        count=len(result.items),
+        elapsed_seconds=result.elapsed_seconds,
+        generation=generation,
+    )
+
+
+def worker_diagnostics() -> dict:
+    """What this worker currently has attached (tests/debugging)."""
+    if _ATTACHED is None:
+        return {"generation": None, "documents": []}
+    generation, engine = _ATTACHED
+    return {"generation": generation,
+            "documents": engine.store.names(),
+            "store_version": engine.store.version,
+            "plan_cache": engine.plan_cache_stats_snapshot().hits}

@@ -22,12 +22,20 @@ _EXPORTS = {
     "Backend": "backends",
     "MmapBackend": "backends",
     "RamBackend": "backends",
+    "SharedMemoryBackend": "backends",
     "StringHeapView": "backends",
+    "attach_segment": "backends",
+    "create_segment": "backends",
+    "unlink_segment": "backends",
     "DeltaRecord": "locking",
     "SizeDeltaLedger": "locking",
     "TransactionManager": "locking",
     "STORE_FORMAT": "persist",
     "StoreDirectory": "persist",
+    "attach_container_shared": "persist",
+    "export_container_shared": "persist",
+    "resolve_verify": "persist",
+    "shared_catalog": "persist",
     "PagedStructure": "pages",
     "UNUSED": "pages",
     "UpdatableDocument": "updatable",

@@ -16,12 +16,18 @@ the pluggable seam that gives the typed ``array('q')`` columns of
     pages column data in on demand, so documents larger than RAM stay
     queryable — and string columns are :class:`StringHeapView` objects
     decoding UTF-8 lazily out of an offsets-plus-blob heap.
+:class:`SharedMemoryBackend`
+    the same read-only view machinery over a
+    ``multiprocessing.shared_memory`` segment: one segment holds all of a
+    document's columns back to back, every worker process attaches it
+    zero-copy by name, so a pool of forked query workers serves one
+    physical copy of the shredded document with no GIL in common
+    (:mod:`repro.server` dispatches onto such a pool; the segment
+    export/attach catalog lives in :mod:`repro.storage.persist`).
 
-Both expose the same tiny protocol (``int_column`` / ``str_column`` /
-``readonly``), so a third implementation (e.g. a
-``SharedMemoryBackend`` hosting the buffers in
-``multiprocessing.shared_memory`` segments) slots in without touching the
-container or the kernels above it.
+All three expose the same tiny protocol (``int_column`` / ``str_column``
+/ ``readonly``), so they slot in without touching the container or the
+kernels above it.
 
 Every read path of the engine touches columns only through ``len``,
 indexing, iteration and slicing — exactly the operations ``memoryview``
@@ -33,7 +39,7 @@ from __future__ import annotations
 
 import mmap
 from array import array
-from typing import Iterator, Protocol, Sequence
+from typing import Any, Iterator, Protocol, Sequence
 
 from ..errors import StorageError
 
@@ -218,3 +224,114 @@ class MmapBackend:
             except BufferError:     # a view escaped; the GC will finish up
                 pass
         self._mmaps = []
+
+
+def create_segment(size: int, name: str | None = None):
+    """Create a shared-memory segment (at least one byte — POSIX minimum).
+
+    The creating process owns the segment's lifetime: it stays linked
+    until :func:`unlink_segment`, so attaching workers can come and go.
+    """
+    from multiprocessing import shared_memory
+    return shared_memory.SharedMemory(create=True, size=max(size, 1),
+                                      name=name)
+
+
+def attach_segment(name: str):
+    """Attach an existing shared-memory segment by name, *without*
+    handing it to this process's ``resource_tracker``.
+
+    The tracker would otherwise unlink the segment when the attaching
+    worker exits (CPython gh-82300) — destroying it under the publishing
+    parent and every sibling worker.  Python 3.13+ has ``track=False``
+    for exactly this; on older versions registration is suppressed for
+    the duration of the attach.
+    """
+    from multiprocessing import shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:       # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(resource_name, rtype):
+        if rtype != "shared_memory":
+            original(resource_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def unlink_segment(segment) -> None:
+    """Close and unlink a segment (idempotent; owner side only).
+
+    POSIX semantics match ``os.replace`` on the column files: unlinking
+    removes the *name*, attached workers keep their mapping alive until
+    they close it — exactly the snapshot discipline readers rely on.
+    """
+    try:
+        segment.close()
+    except (OSError, BufferError):      # pragma: no cover - defensive
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class SharedMemoryBackend:
+    """Read-only views over one shared-memory segment holding a document.
+
+    Constructed by :func:`repro.storage.persist.attach_container_shared`
+    with views already carved out of the attached segment; this class
+    only owns their lifetime.  ``close()`` detaches this process's
+    mapping — it never unlinks the segment, which belongs to the
+    publishing (parent) process and is reclaimed through its epoch
+    protocol once every reader generation drains.
+    """
+
+    readonly = True
+
+    def __init__(self, int_columns: dict[str, "memoryview"],
+                 str_columns: dict[str, StringHeapView],
+                 segment: Any = None, *, label: str = "(shared)"):
+        self._int_columns = int_columns
+        self._str_columns = str_columns
+        self._segment = segment
+        self._label = label
+
+    def int_column(self, name: str) -> "memoryview":
+        try:
+            return self._int_columns[name]
+        except KeyError:
+            raise StorageError(
+                f"shared store {self._label!r} has no integer column "
+                f"{name!r}") from None
+
+    def str_column(self, name: str) -> StringHeapView:
+        try:
+            return self._str_columns[name]
+        except KeyError:
+            raise StorageError(
+                f"shared store {self._label!r} has no string column "
+                f"{name!r}") from None
+
+    def close(self) -> None:
+        """Release the views and detach the segment (idempotent)."""
+        for view in self._int_columns.values():
+            view.release()
+        for heap in self._str_columns.values():
+            heap.release()
+        self._int_columns = {}
+        self._str_columns = {}
+        if self._segment is not None:
+            try:
+                self._segment.close()
+            except (OSError, BufferError):  # pragma: no cover - defensive
+                pass
+            self._segment = None

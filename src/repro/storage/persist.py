@@ -177,8 +177,30 @@ def _check_file(path: Path, entry: dict, *, verify: bool) -> None:
                     f"(stored {entry['crc']:#010x}, computed {crc:#010x})")
 
 
-def _read_column_bytes(path: Path, entry: dict) -> tuple[int, bytes, int]:
-    """Fully read a column file; returns ``(kind, payload, aux)``."""
+def resolve_verify(backend: str, verify: "bool | None") -> bool:
+    """The one place the CRC-verification default per backend is decided.
+
+    ``verify=None`` resolves to **full CRC checking for the RAM backend**
+    (it reads every byte anyway, so the check is almost free and happens
+    during the single load pass) and **structural-only checks for mmap**
+    (magic/count/size from ``stat()``, keeping cold starts O(1) in
+    document size).  Both open paths — ``DocumentStore.open``,
+    ``MonetXQuery(store_path=…)`` and ``QueryServer(store_path=…)`` —
+    route through here, so the flag means the same thing everywhere.
+    """
+    if verify is None:
+        return backend == "ram"
+    return verify
+
+
+def _read_column_bytes(path: Path, entry: dict, *,
+                       verify: bool = False) -> tuple[int, bytes, int]:
+    """Fully read a column file; returns ``(kind, payload, aux)``.
+
+    With ``verify`` the payload is CRC-checked against the catalog during
+    this same read — the RAM open path verifies here instead of making a
+    second full pass over the file.
+    """
     with open(path, "rb") as handle:
         raw = handle.read()
     kind, count, aux = _parse_header(raw, path)
@@ -186,7 +208,14 @@ def _read_column_bytes(path: Path, entry: dict) -> tuple[int, bytes, int]:
     if len(raw) != expected or count != entry["count"]:
         raise StorageError(f"column file {path} is truncated or torn "
                            f"({len(raw)} bytes, expected {expected})")
-    return kind, raw[_HEADER.size:], aux
+    payload = raw[_HEADER.size:]
+    if verify:
+        crc = zlib.crc32(payload)
+        if crc != entry["crc"]:
+            raise StorageError(
+                f"column file {path} fails its checksum "
+                f"(stored {entry['crc']:#010x}, computed {crc:#010x})")
+    return kind, payload, aux
 
 
 def _map_column(path: Path, entry: dict, maps: list[mmap.mmap]
@@ -350,9 +379,9 @@ class StoreDirectory:
         ``backend="mmap"`` maps the columns read-only (out-of-core);
         ``backend="ram"`` loads them fully into today's ``array('q')`` /
         ``list`` buffers — the pure-RAM ablation path, byte-identical in
-        query results.  ``verify=None`` resolves to full CRC checking for
-        the RAM backend (it reads every byte anyway) and structural-only
-        checks for mmap.
+        query results.  ``verify`` resolves through
+        :func:`resolve_verify` (RAM verifies by default, during its
+        single load pass; mmap runs structural checks only unless asked).
         """
         from ..xml.document import DocumentContainer
 
@@ -362,16 +391,18 @@ class StoreDirectory:
         if backend not in ("mmap", "ram"):
             raise StorageError(f"unknown store backend {backend!r} "
                                "(expected 'mmap' or 'ram')")
-        if verify is None:
-            verify = backend == "ram"
+        verify = resolve_verify(backend, verify)
         directory = self.path / entry["dir"]
         for column_name, column in entry["columns"].items():
-            _check_file(directory / column["file"], column, verify=verify)
+            # the RAM loader verifies while reading; re-reading here would
+            # scan every payload twice
+            _check_file(directory / column["file"], column,
+                        verify=verify and backend == "mmap")
 
         if backend == "mmap":
             container = self._open_mmap(name, entry, directory)
         else:
-            container = self._open_ram(name, entry, directory)
+            container = self._open_ram(name, entry, directory, verify=verify)
         container.order_key = entry["order_key"]
         for local, namespace in entry["names"]:
             container.names.intern(local, namespace)
@@ -405,14 +436,15 @@ class StoreDirectory:
                               label=str(self.path / entry["dir"]))
         return DocumentContainer(name, 0, backend=backend)
 
-    def _open_ram(self, name: str, entry: dict,
-                  directory: Path) -> "DocumentContainer":
+    def _open_ram(self, name: str, entry: dict, directory: Path, *,
+                  verify: bool = False) -> "DocumentContainer":
         from ..xml.document import DocumentContainer
 
         container = DocumentContainer(name, 0)
         for column_name, column in entry["columns"].items():
             path = directory / column["file"]
-            kind, payload, aux = _read_column_bytes(path, column)
+            kind, payload, aux = _read_column_bytes(path, column,
+                                                    verify=verify)
             if kind == _KIND_INT:
                 values = array("q")
                 values.frombytes(payload)
@@ -446,3 +478,157 @@ def save_store(path: "Path | str", containers: "list[DocumentContainer]", *,
     persistence.publish_catalog(store_version=store_version,
                                 order_counter=order_counter)
     return persistence
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory segments (process-parallel serving)
+# --------------------------------------------------------------------------- #
+# A *shared store catalog* is the in-memory sibling of the on-disk catalog
+# above: instead of per-document directories of column files it names one
+# shared-memory segment per document, with a layout table locating every
+# column inside the segment.  The publishing parent exports its containers
+# once (containers are immutable after registration, so a segment is valid
+# for as long as any catalog generation references it); worker processes
+# attach the segments by name — zero-copy, read-only — and rebuild warm
+# DocumentStore/DocumentContainer objects exactly like the mmap open path.
+
+def new_segment_name() -> str:
+    """A fresh globally-unique segment name (``rxq<pid>-<random>``).
+
+    The pid prefix makes leaked segments attributable; the random suffix
+    makes collisions with leftovers from crashed runs impossible in
+    practice.
+    """
+    import secrets
+    return f"rxq{os.getpid():x}-{secrets.token_hex(4)}"
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def export_container_shared(container: "DocumentContainer"
+                            ) -> "tuple[Any, dict]":
+    """Copy a container's columns into one shared-memory segment.
+
+    Returns ``(segment, entry)`` where ``entry`` is the document's
+    catalog record: segment name, column layout (offset/count/aux per
+    column, 8-byte aligned), the interned name pool, shred-time tag
+    statistics and the structural counts — everything
+    :func:`attach_container_shared` needs to rebuild the container warm.
+    The segment is created (and later unlinked) by the caller's process;
+    the container itself is not modified.
+    """
+    from .backends import create_segment
+
+    layout: list[dict] = []
+    pieces: list[bytes] = []
+    offset = 0
+    for column_name in INT_COLUMNS:
+        payload = _int_payload(getattr(container, column_name))
+        layout.append({"name": column_name, "kind": "i64",
+                       "offset": offset, "count": len(payload) // 8,
+                       "aux": 0})
+        pieces.append(payload)
+        offset += len(payload)
+        padding = _pad8(offset) - offset
+        if padding:
+            pieces.append(b"\0" * padding)
+            offset += padding
+    for column_name in STR_COLUMNS:
+        entries, blob = encode_string_heap(getattr(container, column_name))
+        layout.append({"name": column_name, "kind": "str",
+                       "offset": offset, "count": len(entries) // 16,
+                       "aux": len(blob)})
+        pieces.append(entries)
+        pieces.append(blob)
+        offset += len(entries) + len(blob)
+        padding = _pad8(offset) - offset
+        if padding:
+            pieces.append(b"\0" * padding)
+            offset += padding
+
+    image = b"".join(pieces)
+    segment = create_segment(len(image), name=new_segment_name())
+    segment.buf[:len(image)] = image
+    entry = {
+        "segment": segment.name,
+        "order_key": container.order_key,
+        "node_count": container.node_count,
+        "attribute_count": container.attribute_count,
+        "names": [[qname.local, qname.namespace]
+                  for qname in container.names.all_names()],
+        "tag_counts": sorted(container._tag_counts.items()),
+        "columns": layout,
+    }
+    return segment, entry
+
+
+def attach_container_shared(name: str, entry: dict) -> "DocumentContainer":
+    """Rebuild one document container over an attached shared segment.
+
+    The worker-side mirror of :func:`export_container_shared`: attaches
+    the named segment read-only (without resource-tracker registration —
+    the publishing parent owns the segment's lifetime) and carves the
+    column views out of it, exactly like the mmap open path does over
+    mapped column files.
+    """
+    from ..xml.document import DocumentContainer
+    from .backends import SharedMemoryBackend, attach_segment
+
+    try:
+        segment = attach_segment(entry["segment"])
+    except FileNotFoundError:
+        raise StorageError(
+            f"shared segment {entry['segment']!r} for document {name!r} "
+            "is gone (reclaimed before this reader attached?)") from None
+    buf = memoryview(segment.buf)
+    int_columns: dict[str, memoryview] = {}
+    str_columns: dict[str, StringHeapView] = {}
+    for column in entry["columns"]:
+        offset = column["offset"]
+        count = column["count"]
+        if column["kind"] == "i64":
+            int_columns[column["name"]] = \
+                buf[offset:offset + count * 8].cast("q")
+        else:
+            pairs_end = offset + count * 16
+            str_columns[column["name"]] = StringHeapView(
+                buf[offset:pairs_end].cast("q"),
+                buf[pairs_end:pairs_end + column["aux"]],
+                f"{entry['segment']}:{column['name']}")
+    backend = SharedMemoryBackend(int_columns, str_columns, segment,
+                                  label=entry["segment"])
+    container = DocumentContainer(name, 0, backend=backend)
+    container.order_key = entry["order_key"]
+    for local, namespace in entry["names"]:
+        container.names.intern(local, namespace)
+    container._tag_counts = {int(name_id): count
+                             for name_id, count in entry["tag_counts"]}
+    if container.node_count != entry["node_count"] \
+            or container.attribute_count != entry["attribute_count"]:
+        raise StorageError(
+            f"document {name!r} in shared segment {entry['segment']!r} has "
+            "inconsistent column lengths (catalog/segment mismatch)")
+    return container
+
+
+def shared_catalog(documents: "dict[str, dict]", *, store_version: int,
+                   order_counter: int, generation: int,
+                   default_context: "str | None") -> dict:
+    """Assemble one publishable shared-store catalog (a plain dict).
+
+    ``documents`` maps document names to the entries
+    :func:`export_container_shared` produced.  The catalog carries the
+    store version (so worker-side plan/subplan cache keys match the
+    parent's), the order counter, and the publishing generation the
+    epoch-based segment reclamation is keyed on.
+    """
+    return {
+        "format": STORE_FORMAT,
+        "store_version": store_version,
+        "order_counter": order_counter,
+        "generation": generation,
+        "default_context": default_context,
+        "documents": dict(documents),
+    }

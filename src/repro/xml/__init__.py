@@ -1,6 +1,7 @@
 """XML substrate: parser, ``pre|size|level`` shredder, containers, serializer."""
 
-from .document import DocumentContainer, DocumentStore, NodeKind, NodeRef
+from .document import (DocumentContainer, DocumentStore, NodeKind, NodeRef,
+                       StoreSnapshot)
 from .names import NamePool, QName
 from .parser import XMLPullParser, parse_events
 from .serializer import serialize_item, serialize_node, serialize_sequence, serialize_subtree
@@ -13,6 +14,7 @@ __all__ = [
     "NodeKind",
     "NodeRef",
     "QName",
+    "StoreSnapshot",
     "XMLPullParser",
     "parse_events",
     "serialize_item",

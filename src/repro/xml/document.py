@@ -22,6 +22,7 @@ which order by document order and compare by node identity.
 from __future__ import annotations
 
 from array import array
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Any, Iterable, Iterator
 
@@ -401,6 +402,25 @@ class DocumentContainer:
         return new_root
 
 
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """One atomic observation of the document store.
+
+    Version, document names and container references are captured under a
+    single read-lock acquisition, so the three fields always correspond to
+    one committed state — a consumer (``ServerStats``, the shared-memory
+    publication path) can never mix an old document list with a new
+    version.  The containers tuple holds strong references, so the
+    snapshot stays fully readable even if documents are dropped or
+    replaced afterwards.
+    """
+
+    version: int
+    names: tuple[str, ...]
+    containers: "tuple[DocumentContainer, ...]"
+    order_counter: int = 0
+
+
 class DocumentStore:
     """The "loaded documents" table: all persistent and transient containers.
 
@@ -467,6 +487,16 @@ class DocumentStore:
         query results).  The persisted schema version, document order keys
         and shred-time tag statistics are restored, and the store stays
         bound to the directory for write-through.
+
+        ``verify`` controls CRC checking of the column payloads and is
+        resolved identically for both backends
+        (:func:`repro.storage.persist.resolve_verify`): ``None`` — the
+        default — means *full CRC verification for* ``ram`` (the load
+        pass reads every byte anyway, so checking is nearly free) and
+        *structural-only validation for* ``mmap`` (sizes and layout; a
+        full checksum would fault in every page and defeat lazy
+        mapping).  Pass ``verify=True`` to force full CRC checks on
+        either backend, ``verify=False`` to skip them on either.
         """
         from ..storage.persist import StoreDirectory
         persistence = StoreDirectory.load(path)
@@ -478,6 +508,32 @@ class DocumentStore:
         store._order_counter = persistence.catalog["order_counter"]
         store._persistence = persistence
         return store
+
+    @classmethod
+    def attach_shared(cls, catalog: dict) -> "DocumentStore":
+        """Attach a published shared-memory store by segment names.
+
+        The worker-process mirror of :meth:`open`: ``catalog`` is the
+        shared-store catalog the publishing parent built
+        (:func:`repro.storage.persist.shared_catalog`); every document's
+        segment is attached read-only and zero-copy, the store version,
+        order counter and tag statistics are restored, so plan-cache and
+        subplan-cache keys in this process agree with the parent's.
+        """
+        from ..storage.persist import attach_container_shared
+        store = cls()
+        for name, entry in catalog["documents"].items():
+            store._documents[name] = attach_container_shared(name, entry)
+        store._version = catalog["store_version"]
+        store._order_counter = catalog["order_counter"]
+        return store
+
+    def snapshot(self) -> StoreSnapshot:
+        """Version + names + containers under one lock acquisition."""
+        with self._lock.read_locked():
+            return StoreSnapshot(self._version, tuple(self._documents),
+                                 tuple(self._documents.values()),
+                                 self._order_counter)
 
     def _write_through(self, container: "DocumentContainer | None" = None, *,
                        removed: str | None = None) -> None:

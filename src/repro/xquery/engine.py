@@ -226,6 +226,34 @@ class MonetXQuery:
         self._plan_cache: OrderedDict[tuple, PreparedQuery] = OrderedDict()
         self._plan_lock = threading.RLock()
 
+    @classmethod
+    def attach_shared(cls, catalog: dict, *,
+                      options: EngineOptions | None = None,
+                      plan_cache_size: int = 64,
+                      subplan_cache: Any = None) -> "MonetXQuery":
+        """Attach an engine to a published shared-memory store by name.
+
+        The worker-process open path of the process-parallel serving
+        layer: ``catalog`` is the shared-store catalog the publishing
+        parent built (segment names + column layout + name pools + tag
+        statistics).  Every document attaches zero-copy and read-only;
+        the store version is restored, so this engine's plan-cache and
+        subplan-cache keys agree with the parent's, and the parent's
+        default context document carries over.
+        """
+        engine = cls(options=options, plan_cache_size=plan_cache_size,
+                     subplan_cache=subplan_cache)
+        engine.store = DocumentStore.attach_shared(catalog)
+        engine.transient = engine.store.new_container("(transient)",
+                                                      transient=True)
+        engine._default_context = catalog.get("default_context")
+        if engine._default_context is None:
+            documents = engine.store.containers()
+            if documents:
+                first = min(documents, key=lambda c: c.order_key)
+                engine._default_context = first.name
+        return engine
+
     # ------------------------------------------------------------------ #
     # document management
     # ------------------------------------------------------------------ #
@@ -337,6 +365,17 @@ class MonetXQuery:
                 options: EngineOptions | None = None) -> str:
         """The optimized logical plan dump of a query (without running it)."""
         return self.prepare(query, options=options).explain()
+
+    def plan_cache_stats_snapshot(self) -> PlanCacheStats:
+        """A consistent copy of the plan-cache counters.
+
+        Taken under the plan-cache lock, so the three counters always
+        belong to one moment — a snapshot racing concurrent ``prepare()``
+        calls can never mix a pre-insert miss count with a post-insert
+        eviction count.
+        """
+        with self._plan_lock:
+            return self.plan_cache_stats.snapshot()
 
     def clear_plan_cache(self) -> None:
         """Drop all cached prepared queries (counters are kept).

@@ -143,6 +143,54 @@ class TestUpdatesUnderLoad:
         assert final.strings() == [f"alice-v{commits - 1}"]
         server.close()
 
+    def test_stats_snapshot_is_atomic_under_churn(self):
+        # regression: stats() used to read the version and the document
+        # list in separate store-lock acquisitions, so a stats call racing
+        # a commit could pair a new version with an old document list
+        server = QueryServer(threads=THREADS)
+        server.load_document_text(SMALL_XML, name="stable.xml")
+        committed = {server.engine.store.version: ["stable.xml"]}
+        committed_lock = threading.Lock()
+        stop = threading.Event()
+
+        def record():
+            with committed_lock:
+                committed[server.engine.store.version] = \
+                    sorted(server.engine.store.names())
+
+        def mutator():
+            try:
+                for index in range(25):
+                    name = f"extra-{index}.xml"
+                    server.load_document_text("<extra/>", name,
+                                              default_context=False)
+                    record()
+                    server.drop_document(name)
+                    record()
+            finally:
+                stop.set()
+
+        observed: list[tuple[int, list[str]]] = []
+        observed_lock = threading.Lock()
+
+        def watcher():
+            while not stop.is_set() or not observed:
+                stats = server.stats()
+                with observed_lock:
+                    observed.append((stats.store_version,
+                                     sorted(stats.documents)))
+
+        errors = run_threads([mutator] + [watcher] * (THREADS - 1))
+        assert not errors, errors
+        assert observed
+        for version, documents in observed:
+            assert version in committed, \
+                f"stats reported never-committed version {version}"
+            assert documents == committed[version], (
+                f"torn stats: version {version} paired with {documents}, "
+                f"committed state was {committed[version]}")
+        server.close()
+
     def test_load_drop_churn_does_not_disturb_other_documents(self):
         server = QueryServer(threads=THREADS)
         server.load_document_text(SMALL_XML, name="stable.xml")

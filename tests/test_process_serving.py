@@ -1,0 +1,367 @@
+"""Process-parallel serving: shared-memory attach, epochs, bit-identity.
+
+The process-pool serving mode moves query execution into worker processes
+that attach the shredded document columns out of shared memory.  The
+contract under test:
+
+* :class:`EpochTracker` — reader epochs pin a published generation; the
+  retired generation's closer runs exactly once, when its last reader
+  drains, and never under the tracker's own lock,
+* export/attach round-trip — a container exported to a shared-memory
+  segment and re-attached (same process or a pool worker) serves
+  bit-identical query results over the XMark suite *and* the generated
+  differential query corpus,
+* update commits racing multi-process readers — every reader sees a
+  complete committed store (paired fields always agree), never a torn mix
+  of generations,
+* reclamation — a closed server leaves no shared-memory segment behind,
+  even when updates piled up multiple generations,
+* lifecycle — ``close()`` is idempotent and safe to race with in-flight
+  ``submit()`` calls in both pool modes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro import MonetXQuery
+from repro.concurrency import EpochTracker
+from repro.server import QueryServer, RemoteQueryResult
+from repro.storage.backends import attach_segment, unlink_segment
+from repro.storage.persist import export_container_shared, shared_catalog
+from repro.xmark import all_queries
+
+from conftest import SMALL_XML
+from test_differential import generated_queries
+
+PROCESSES = 2
+
+PERSON_NAME_QUERY = ('for $p in /site/people/person[@id = "person0"] '
+                     'return $p/name/text()')
+
+
+# --------------------------------------------------------------------------- #
+# EpochTracker
+# --------------------------------------------------------------------------- #
+class TestEpochTracker:
+    def test_closer_runs_when_retired_epoch_drains(self):
+        tracker = EpochTracker()
+        closed: list[int] = []
+        tracker.open(1, closer=lambda: closed.append(1))
+        tracker.enter(1)
+        tracker.enter(1)
+        tracker.retire(1)
+        assert closed == []                    # two readers still pinned
+        tracker.exit(1)
+        assert closed == []
+        tracker.exit(1)
+        assert closed == [1]                   # last reader drained
+        assert tracker.live_epochs() == []
+
+    def test_retire_with_no_readers_closes_immediately(self):
+        tracker = EpochTracker()
+        closed: list[int] = []
+        tracker.open(7, closer=lambda: closed.append(7))
+        tracker.retire(7)
+        assert closed == [7]
+
+    def test_closer_runs_exactly_once(self):
+        tracker = EpochTracker()
+        closed: list[int] = []
+        tracker.open(1, closer=lambda: closed.append(1))
+        tracker.enter(1)
+        tracker.retire(1)
+        tracker.retire(1)                      # double retire: harmless
+        tracker.exit(1)
+        tracker.exit(1)                        # late exit: ignored
+        assert closed == [1]
+
+    def test_enter_unknown_epoch_raises(self):
+        tracker = EpochTracker()
+        with pytest.raises(ValueError):
+            tracker.enter(99)
+
+    def test_closer_may_reenter_tracker(self):
+        # closers run outside the tracker lock: a closer that retires the
+        # next epoch (cascading reclamation) must not deadlock
+        tracker = EpochTracker()
+        closed: list[int] = []
+        tracker.open(2, closer=lambda: closed.append(2))
+        tracker.open(1, closer=lambda: (closed.append(1), tracker.retire(2)))
+        tracker.retire(1)
+        assert closed == [1, 2]
+
+    def test_retire_all(self):
+        tracker = EpochTracker()
+        closed: list[int] = []
+        for epoch in (1, 2, 3):
+            tracker.open(epoch, closer=lambda e=epoch: closed.append(e))
+        tracker.enter(2)
+        tracker.retire_all()
+        assert sorted(closed) == [1, 3]        # 2 still has a reader
+        tracker.exit(2)
+        assert sorted(closed) == [1, 2, 3]
+
+    def test_concurrent_enter_exit_is_exact(self):
+        tracker = EpochTracker()
+        closed = threading.Event()
+        tracker.open(1, closer=closed.set)
+
+        def churn():
+            for _ in range(500):
+                tracker.enter(1)
+                tracker.exit(1)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert tracker.readers(1) == 0
+        assert not closed.is_set()             # never retired -> never closed
+        tracker.retire(1)
+        assert closed.is_set()
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory export / attach round-trip (single process)
+# --------------------------------------------------------------------------- #
+class TestSharedAttachRoundTrip:
+    def _attached_pair(self, text: str):
+        source = MonetXQuery()
+        source.load_document_text(text, name="doc.xml")
+        snapshot = source.store.snapshot()
+        segments, documents = [], {}
+        for container in snapshot.containers:
+            segment, entry = export_container_shared(container)
+            segments.append(segment)
+            documents[container.name] = entry
+        catalog = shared_catalog(documents, store_version=snapshot.version,
+                                 order_counter=snapshot.order_counter,
+                                 generation=1, default_context="doc.xml")
+        attached = MonetXQuery.attach_shared(catalog)
+        return source, attached, segments
+
+    def test_xmark_queries_bit_identical(self, xmark_text):
+        source, attached, segments = self._attached_pair(xmark_text)
+        try:
+            for number, query in all_queries().items():
+                expected = source.query(query)
+                got = attached.query(query)
+                assert got.serialize() == expected.serialize(), \
+                    f"XMark Q{number} diverged over shared memory"
+                assert got.strings() == expected.strings()
+        finally:
+            attached.store.close()
+            for segment in segments:
+                unlink_segment(segment)
+
+    def test_generated_differential_corpus_bit_identical(self, xmark_text):
+        source, attached, segments = self._attached_pair(xmark_text)
+        try:
+            for query in generated_queries():
+                assert attached.query(query).serialize() \
+                    == source.query(query).serialize(), query
+        finally:
+            attached.store.close()
+            for segment in segments:
+                unlink_segment(segment)
+
+    def test_attached_store_is_readonly(self):
+        source, attached, segments = self._attached_pair(SMALL_XML)
+        try:
+            [container] = [c for c in attached.store.containers()
+                           if not c.transient]
+            assert container.backend.readonly
+        finally:
+            attached.store.close()
+            for segment in segments:
+                unlink_segment(segment)
+
+    def test_attach_unknown_segment_raises(self):
+        from repro.errors import StorageError
+        source = MonetXQuery()
+        source.load_document_text(SMALL_XML, name="doc.xml")
+        snapshot = source.store.snapshot()
+        segment, entry = export_container_shared(snapshot.containers[0])
+        unlink_segment(segment)
+        from repro.storage.persist import attach_container_shared
+        with pytest.raises(StorageError):
+            attach_container_shared("doc.xml", entry)
+
+
+# --------------------------------------------------------------------------- #
+# process pool: thread mode and process mode are bit-identical
+# --------------------------------------------------------------------------- #
+class TestProcessPoolIdentity:
+    def test_xmark_and_generated_queries_match_thread_mode(self, xmark_text):
+        queries = list(all_queries().values()) + generated_queries()
+        with QueryServer(threads=2) as threaded, \
+                QueryServer(threads=2, processes=PROCESSES) as pooled:
+            threaded.load_document_text(xmark_text, name="auction.xml")
+            pooled.load_document_text(xmark_text, name="auction.xml")
+            expected = [threaded.submit(query) for query in queries]
+            remote = [pooled.submit(query) for query in queries]
+            for query, thread_future, proc_future in zip(queries, expected,
+                                                         remote):
+                thread_result = thread_future.result()
+                proc_result = proc_future.result()
+                assert isinstance(proc_result, RemoteQueryResult)
+                assert proc_result.serialize() == thread_result.serialize(), \
+                    f"process pool diverged on {query!r}"
+                assert proc_result.strings() == thread_result.strings()
+                assert len(proc_result) == len(thread_result.items)
+            stats = pooled.stats()
+            assert stats.mode == "processes"
+            assert stats.processes == PROCESSES
+            assert stats.queries_served == len(queries)
+
+    def test_worker_plan_cache_reused_across_tasks(self):
+        with QueryServer(processes=1) as server:
+            server.load_document_text(SMALL_XML, name="auction.xml")
+            for _ in range(4):
+                result = server.submit(PERSON_NAME_QUERY).result()
+                assert result.strings() == ["Alice"]
+            # one worker, one generation: the attachment is built once and
+            # repeated texts hit its plan cache (diagnosed via the worker)
+            from repro.server import procworker
+            diagnostics = server._proc_pool.submit(
+                procworker.worker_diagnostics).result()
+            assert diagnostics["generation"] == 1
+            assert diagnostics["plan_cache"] >= 2
+
+
+# --------------------------------------------------------------------------- #
+# update commits racing multi-process readers: never torn
+# --------------------------------------------------------------------------- #
+class TestProcessUpdatesRacingReaders:
+    PAIRED_DOC = ("<pair><x>seed</x><y>seed</y></pair>")
+    PAIRED_QUERY = ("for $p in /pair return "
+                    "concat(string($p/x), '|', string($p/y))")
+
+    def test_commits_racing_pool_readers_are_never_torn(self):
+        server = QueryServer(threads=2, processes=PROCESSES)
+        server.load_document_text(self.PAIRED_DOC, name="pair.xml")
+        commits = 6
+        committed = {"seed"}
+        futures = []
+        try:
+            for index in range(commits):
+                # keep readers in flight across every commit boundary
+                futures.extend(server.submit(self.PAIRED_QUERY)
+                               for _ in range(4))
+                value = f"v{index}"
+                with server.update("pair.xml") as updater:
+                    [x] = updater.select("/pair/x/text()")
+                    updater.replace_value(x, value)
+                    [y] = updater.select("/pair/y/text()")
+                    updater.replace_value(y, value)
+                committed.add(value)
+            futures.extend(server.submit(self.PAIRED_QUERY)
+                           for _ in range(4))
+            for future in futures:
+                [observed] = future.result().strings()
+                x_value, y_value = observed.split("|")
+                # both halves of one committed state, never a mix
+                assert x_value == y_value, f"torn read: {observed!r}"
+                assert x_value in committed
+            # the final dispatch must see the final commit
+            [final] = server.submit(self.PAIRED_QUERY).result().strings()
+            assert final == f"v{commits - 1}|v{commits - 1}"
+            stats = server.stats()
+            assert stats.generation >= commits
+        finally:
+            server.close()
+
+    def test_superseded_generations_are_reclaimed(self):
+        server = QueryServer(processes=1)
+        server.load_document_text(self.PAIRED_DOC, name="pair.xml")
+        try:
+            server.submit("count(/pair)").result()
+            for index in range(4):
+                with server.update("pair.xml") as updater:
+                    [x] = updater.select("/pair/x/text()")
+                    updater.replace_value(x, f"gen{index}")
+                server.submit("string(/pair/x)").result()
+            stats = server.stats()
+            assert stats.generation == 5
+            # drained generations released their segments: only the live
+            # generation's segment may remain linked
+            assert stats.live_segments == 1
+        finally:
+            server.close()
+        assert server._segments == {}
+
+
+# --------------------------------------------------------------------------- #
+# lifecycle: idempotent close, reclamation, submit-after-close
+# --------------------------------------------------------------------------- #
+class TestProcessLifecycle:
+    def test_close_is_idempotent_and_unlinks_segments(self):
+        server = QueryServer(processes=1)
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        server.submit("count(//person)").result()
+        segment_names = list(server._segments)
+        assert segment_names
+        for name in segment_names:             # linked while serving
+            attach_segment(name).close()
+        server.close()
+        server.close()                         # second close: no-op
+        assert server.closed
+        for name in segment_names:             # unlinked after close
+            with pytest.raises(FileNotFoundError):
+                attach_segment(name)
+
+    def test_close_with_futures_in_flight(self):
+        server = QueryServer(processes=PROCESSES)
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        futures = [server.submit("count(//person)") for _ in range(8)]
+        server.close(wait=True)                # blocks on in-flight work
+        for future in futures:
+            assert future.result().serialize() == "3"
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit("count(//person)")
+
+    def test_submit_after_close_raises_in_thread_mode(self):
+        server = QueryServer(threads=2)
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        server.close()
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit("count(//person)")
+
+    def test_concurrent_close_and_submit_never_hang(self):
+        server = QueryServer(threads=2, processes=PROCESSES)
+        server.load_document_text(SMALL_XML, name="auction.xml")
+        server.submit("count(//person)").result()   # warm the pool
+        results: list[str] = []
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def submitter():
+            for _ in range(10):
+                try:
+                    value = server.submit("count(//person)").result()
+                    with lock:
+                        results.append(value.serialize())
+                except RuntimeError as exc:
+                    assert "closed" in str(exc)
+                    return
+                except BaseException as exc:   # noqa: BLE001
+                    with lock:
+                        errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=submitter) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        server.close(wait=True)
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "submitter hung across close()"
+        assert not errors, errors
+        assert all(value == "3" for value in results)
+        assert server._segments == {}
