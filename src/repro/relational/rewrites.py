@@ -39,13 +39,21 @@ this module is the equivalent pass over the logical plans built by
   their results *across queries* keyed on that fingerprint plus the
   document-store schema version and the context root,
 * **step-chain fusion marking** — maximal chains of consecutive
-  predicate-free location steps are annotated so the executor can run
-  them as one surrogate-free pipeline (``axis_step_chain``): the paired
-  ``(iter, pre)`` int arrays of each staircase join feed the next join
-  directly and ``NodeRef`` boxing happens once, at the chain's end.
-  Chains never absorb shared (memoised) interior nodes; the executor
-  additionally refuses to fuse across cross-query-cacheable nodes when a
-  subplan cache is attached, so cache slots keep materialising.
+  location steps that are predicate-free or carry a single purely
+  positional predicate (``[k]``, ``[last()]``) are annotated so the
+  executor can run them as one surrogate-free pipeline
+  (``axis_step_chain``): the paired ``(iter, pre)`` int arrays of each
+  staircase join feed the next join directly, positional predicates run
+  as per-context counting on those buffers, and ``NodeRef`` boxing
+  happens once, at the chain's end.  Chains never absorb shared
+  (memoised) interior nodes; the executor additionally refuses to fuse
+  across cross-query-cacheable nodes when a subplan cache is attached,
+  so cache slots keep materialising,
+* **codegen coverage marking** — every operator the plan-to-Python
+  codegen stage (:mod:`repro.xquery.codegen`) can compile to a
+  specialized closure is recorded, with per-node fallback reasons for
+  the rest (node constructors, user functions), so ``explain()`` shows
+  exactly which subtrees stay interpreted.
 
 All analyses are side tables keyed by ``PlanNode.id``; only the FLWOR
 rules rebuild plan nodes (moving conjuncts, adding the ``join``/``joins``/
@@ -112,6 +120,27 @@ def flatten_conjuncts(where: PlanNode) -> list[PlanNode]:
     for child in where.children:
         conjuncts.extend(flatten_conjuncts(child))
     return conjuncts
+
+
+def positional_predicate_spec(predicate: PlanNode
+                              ) -> tuple[Any, ...] | None:
+    """The positional spec of a predicate, if it is purely positional.
+
+    ``("index", k)`` for an integer-literal predicate ``[k]``,
+    ``("last",)`` for ``[last()]``; ``None`` for anything else.  A step
+    whose only predicate has such a spec can run inside a fused chain as
+    per-context counting on the raw ``(iter, pre)`` buffers — no
+    materialised intermediate, no position registers.
+    """
+    if predicate.kind == "const":
+        value = predicate.p("value")
+        if isinstance(value, int) and not isinstance(value, bool):
+            return ("index", value)
+        return None
+    if predicate.kind == "call" and not predicate.children \
+            and _strip_fn(predicate.p("name")) == "last":
+        return ("last",)
+    return None
 
 
 @dataclass(frozen=True)
@@ -301,6 +330,13 @@ class OptimizedModulePlan:
     #: worst-case-optimal multi-way join (the product bounds the pairwise
     #: intermediate the generic join avoids)
     wcoj_estimates: dict[int, tuple[float, ...]] = field(default_factory=dict)
+    #: node ids the codegen stage can compile to a specialized executor
+    #: closure (computed unconditionally so plan dumps are identical with
+    #: and without the ``codegen`` ablation)
+    codegen_nodes: frozenset[int] = frozenset()
+    #: node id -> human-readable reason the subtree stays interpreted
+    #: (node constructors, user functions, ...); surfaced via ``explain()``
+    codegen_fallbacks: dict[int, str] = field(default_factory=dict)
 
     def required_columns(self, node: PlanNode) -> frozenset[str]:
         return self.cols.get(node.id, FULL_COLUMNS)
@@ -377,6 +413,12 @@ class OptimizedModulePlan:
                     notes.append(note)
             if node.kind == "for" and len(node.children) > 1:
                 notes.append(f"pushed-predicates={len(node.children) - 1}")
+            if node.id in self.codegen_fallbacks:
+                notes.append(
+                    f"(interpreted: {self.codegen_fallbacks[node.id]})")
+            elif node.id in self.codegen_nodes and node.kind in (
+                    "step", "flwor", "filter", "call", "quantified"):
+                notes.append("(codegen)")
             return " ".join(notes)
 
         sections = []
@@ -515,6 +557,19 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
                 f"{len(maximal)} step chains run surrogate-free "
                 f"(longest: {longest} steps)")
 
+    # 6. codegen coverage: which operators compile to specialized executor
+    #    closures.  Computed regardless of the codegen ablation so plan
+    #    renders are byte-identical with the switch on or off; the engine
+    #    only *uses* the marking when options.codegen is set.
+    codegen_nodes, codegen_fallbacks = _codegen_coverage(roots, functions)
+    kinds = {node.id: node.kind for root in roots for node in root.walk()}
+    report.fire("codegen",
+                f"{len(codegen_nodes)} of {len(kinds)} plan operators "
+                "compile to specialized executors")
+    for node_id, reason in sorted(codegen_fallbacks.items()):
+        report.fire("codegen-fallback",
+                    f"{kinds[node_id]} #{node_id}: {reason}")
+
     return OptimizedModulePlan(body=body, globals=globals_,
                                functions=functions, cols=cols,
                                shared=shared, impure=impure, free=free,
@@ -523,7 +578,9 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
                                typed_columns=typed_columns,
                                fused_chains=fused_chains,
                                fused_members=fused_members,
-                               wcoj_estimates=wcoj_estimates)
+                               wcoj_estimates=wcoj_estimates,
+                               codegen_nodes=codegen_nodes,
+                               codegen_fallbacks=codegen_fallbacks)
 
 
 # --------------------------------------------------------------------------- #
@@ -531,12 +588,15 @@ def optimize(module_plan: "ModulePlan", options: Any = None,
 # --------------------------------------------------------------------------- #
 def _fusable_chains(roots: list[PlanNode], shared: frozenset[int]
                     ) -> tuple[dict[int, int], frozenset[int]]:
-    """Mark chains of consecutive predicate-free location steps for fusion.
+    """Mark chains of consecutive fusable location steps for fusion.
 
     A ``step`` node *absorbs* its context child when the child
 
-    * is itself a predicate-free ``step`` (predicates need the nested
-      iteration scope and positions of a materialised intermediate),
+    * is itself a ``step`` that is predicate-free or carries exactly one
+      purely positional predicate (``[k]`` / ``[last()]``) — general
+      predicates need the nested iteration scope and positions of a
+      materialised intermediate, but positional ones run as per-context
+      counting on the raw ``(iter, pre)`` buffers mid-chain,
     * is not marked shared — a memoised subplan must materialise so its
       other consumers can reuse the result, and
     * does not use the attribute axis — attribute rows live in a separate
@@ -551,10 +611,24 @@ def _fusable_chains(roots: list[PlanNode], shared: frozenset[int]
     """
     lengths: dict[int, int] = {}
 
+    def positional_only(step: PlanNode) -> bool:
+        # a step joins a chain when it is predicate-free, or carries exactly
+        # one purely positional predicate ([k] / [last()]) that the chain
+        # runner evaluates as per-context counting on the raw buffers;
+        # attribute-axis rows use a different rank encoding, so predicated
+        # attribute steps stay on the materialising path
+        if len(step.children) == 1:
+            return True
+        if len(step.children) != 2:
+            return False
+        if getattr(step.p("axis"), "value", None) == "attribute":
+            return False
+        return positional_predicate_spec(step.children[1]) is not None
+
     def absorbable(child: PlanNode) -> bool:
         # compare the axis by enum value to avoid importing the staircase
         # package (whose document types import this package)
-        return (child.kind == "step" and len(child.children) == 1
+        return (child.kind == "step" and positional_only(child)
                 and child.id not in shared
                 and getattr(child.p("axis"), "value", None) != "attribute")
 
@@ -571,7 +645,7 @@ def _fusable_chains(roots: list[PlanNode], shared: frozenset[int]
     members: set[int] = set()
     for root in roots:
         for node in root.walk():
-            if node.kind != "step" or len(node.children) != 1:
+            if node.kind != "step" or not positional_only(node):
                 continue
             length = down_length(node)
             if length < 2:
@@ -585,8 +659,59 @@ def _fusable_chains(roots: list[PlanNode], shared: frozenset[int]
 
 
 # --------------------------------------------------------------------------- #
-# cross-query cacheable subplans (materialized-view candidates)
+# codegen coverage (which operators compile to specialized closures)
 # --------------------------------------------------------------------------- #
+#: plan operators the codegen stage (:mod:`repro.xquery.codegen`) knows how
+#: to compile; anything else (node constructors, value templates) stays on
+#: the interpreting executor
+_CODEGEN_KINDS = frozenset({
+    "const", "empty", "var", "context", "root", "seq", "range", "arith",
+    "unary", "cmp-value", "cmp-general", "and", "or", "if", "flwor", "for",
+    "let", "orderspec", "quantified", "step", "filter", "call",
+})
+
+
+def _codegen_coverage(roots: list[PlanNode], functions: dict[str, Any]
+                      ) -> tuple[frozenset[int], dict[int, str]]:
+    """Partition plan operators into codegen-covered and interpreted.
+
+    Coverage is per-node: a covered operator's generated closure invokes
+    its children through the executor's shared entry point, so an
+    interpreted child simply falls back for its own subtree without
+    poisoning the parent.  The fallback reasons feed ``explain()`` (the
+    ``codegen-fallback`` report entries), mirroring the wcoj-recognition
+    report style so coverage regressions stay visible.
+    """
+    # deferred import: this package is imported by xquery.planner, and
+    # xquery.functions imports other xquery modules — resolving the
+    # builtin registry lazily avoids the cycle at module-load time
+    from ..xquery.functions import is_builtin
+
+    user_functions = {_strip_fn(name) for name in functions}
+    covered: set[int] = set()
+    fallbacks: dict[int, str] = {}
+    for root in roots:
+        for node in root.walk():
+            if node.id in covered or node.id in fallbacks:
+                continue
+            if node.kind not in _CODEGEN_KINDS:
+                fallbacks[node.id] = "node constructor" \
+                    if node.kind in ("elem", "text", "avt") \
+                    else f"unsupported operator {node.kind}"
+                continue
+            if node.kind == "call":
+                name = _strip_fn(node.p("name"))
+                if name in ("position", "last") and not node.children:
+                    covered.add(node.id)
+                elif name in user_functions:
+                    fallbacks[node.id] = "user function"
+                elif not is_builtin(name):
+                    fallbacks[node.id] = f"unknown function {name}()"
+                else:
+                    covered.add(node.id)
+                continue
+            covered.add(node.id)
+    return frozenset(covered), fallbacks
 def _cacheable_subplans(roots: list[PlanNode], free: FreeVariables,
                         impure: frozenset[int],
                         functions: dict[str, Any]) -> dict[int, str]:

@@ -46,7 +46,8 @@ from ..relational.cardinality import StoreStatistics
 from ..relational.plan import PlanNode
 from ..relational.properties import TableProps
 from ..relational.rewrites import (JoinEstimate, OptimizedModulePlan,
-                                   flatten_conjuncts, optimize)
+                                   flatten_conjuncts, optimize,
+                                   positional_predicate_spec)
 from ..relational import wcoj
 from ..relational.sorting import sort
 from ..relational.table import Table
@@ -83,6 +84,15 @@ class LoopLiftingCompiler:
         self._subplan_cache = getattr(engine, "subplan_cache", None)
         if not getattr(self.options, "cross_query_caching", True):
             self._subplan_cache = None
+        self.step_options = StepOptions(
+            loop_lifted_child=self.options.loop_lifted_child,
+            loop_lifted_descendant=self.options.loop_lifted_descendant,
+            loop_lifted_other=self.options.loop_lifted_other,
+            nametest_pushdown=self.options.nametest_pushdown,
+        )
+        #: node id -> compiled closure when executing under a codegen'd
+        #: plan (:mod:`repro.xquery.codegen`); ``None`` = pure interpreter
+        self._codegen: dict[int, Any] | None = None
 
     # ------------------------------------------------------------------ #
     # entry points
@@ -95,12 +105,26 @@ class LoopLiftingCompiler:
         return self.run_optimized(optimized, context_item=context_item)
 
     def run_optimized(self, optimized: OptimizedModulePlan,
-                      context_item: Any | None = None) -> list[Any]:
-        """Evaluate an already optimized module plan (the plan-cache path)."""
+                      context_item: Any | None = None,
+                      compiled: Any | None = None) -> list[Any]:
+        """Evaluate an already optimized module plan (the plan-cache path).
+
+        ``compiled`` is the plan's :class:`~repro.xquery.codegen.
+        CompiledProgram`: its specialized closures take over execution for
+        every covered operator, the interpreter serves the rest.
+        """
         self._plan = optimized
         self.user_functions = dict(optimized.functions)
         self._memo = {}
         self._memo_pins = []
+        if compiled is not None:
+            self._codegen = compiled.by_id
+            explain.record("plan", "plan.codegen", compiled.compiled_count,
+                           len(compiled.fallbacks),
+                           detail=f"{compiled.compiled_count} compiled "
+                                  "operators")
+        else:
+            self._codegen = None
         loop = unit_loop()
         env: dict[str, Any] = {}
         if context_item is not None:
@@ -113,20 +137,18 @@ class LoopLiftingCompiler:
             result, use_properties=self.options.order_optimization)
         return sequence_items(result, 1)
 
-    @property
-    def step_options(self) -> StepOptions:
-        return StepOptions(
-            loop_lifted_child=self.options.loop_lifted_child,
-            loop_lifted_descendant=self.options.loop_lifted_descendant,
-            loop_lifted_other=self.options.loop_lifted_other,
-            nametest_pushdown=self.options.nametest_pushdown,
-        )
-
     # ------------------------------------------------------------------ #
     # dispatcher (with shared-subplan memoisation)
     # ------------------------------------------------------------------ #
     def compile(self, node: PlanNode, loop, env: dict):
         """Execute one plan node under the given loop relation/environment."""
+        codegen = self._codegen
+        if codegen is not None:
+            # the compiled closure carries its own subplan-cache / memo
+            # wrappers, baked in at codegen time
+            fn = codegen.get(node.id)
+            if fn is not None:
+                return fn(self, loop, env)
         if self._subplan_cache is not None and self._plan is not None:
             fingerprint = self._plan.cache_key(node)
             if fingerprint is not None:
@@ -152,7 +174,7 @@ class LoopLiftingCompiler:
         return result
 
     def _materialized_subplan(self, node: PlanNode, fingerprint: str,
-                              loop, env: dict):
+                              loop, env: dict, evaluate=None):
         """Serve a cacheable absolute-path subplan from the shared
         cross-query cache (evaluating and materializing it on a miss).
 
@@ -191,9 +213,15 @@ class LoopLiftingCompiler:
                                            NodeRef(container, root_pre))}
             # dispatch directly (not via compile()) so this node cannot
             # consult the cache again; nested prefix steps still go through
-            # compile() and populate their own cache slots
-            method = getattr(self, f"_exec_{node.kind.replace('-', '_')}")
-            table = method(node, base_loop, base_env)
+            # compile() and populate their own cache slots.  Codegen'd
+            # plans pass their raw (unwrapped) closure as ``evaluate`` for
+            # the same reason.
+            if evaluate is None:
+                evaluate = getattr(self,
+                                   f"_exec_{node.kind.replace('-', '_')}")
+                table = evaluate(node, base_loop, base_env)
+            else:
+                table = evaluate(self, base_loop, base_env)
             items = tuple(sequence_items(table, 1))
             items = self._subplan_cache.insert(key, items, pin=container)
             explain.record("plan", "plan.subplan.materialize",
@@ -1006,10 +1034,12 @@ class LoopLiftingCompiler:
 
     def _exec_step(self, node: PlanNode, loop, env):
         predicates = node.children[1:]
-        if not predicates:
-            chain = self._fused_chain(node)
-            if chain is not None:
-                return self._exec_fused_chain(chain, loop, env)
+        # the rewrite analysis only marks chains through steps that are
+        # predicate-free or carry a single positional predicate, so any
+        # marked node is safe for the chain runner
+        chain = self._fused_chain(node)
+        if chain is not None:
+            return self._exec_fused_chain(chain, loop, env)
         context = self.compile(node.children[0], loop, env)
         name = node.p("test_name")
         node_test = NodeTest(kind=node.p("test_kind"),
@@ -1069,16 +1099,21 @@ class LoopLiftingCompiler:
         staircase join feeds the next one through raw ``(iter, pre)`` int
         buffers and only the chain's end is assembled into an
         ``iter|pos|item`` table (boxing at most once — never when the
-        required-columns analysis pruned ``item``)."""
+        required-columns analysis pruned ``item``).  Positional
+        predicates (``[k]`` / ``[last()]``) run as per-context counting
+        on the same raw buffers."""
         head = chain[0]
         context = self.compile(chain[-1].children[0], loop, env)
         specs = []
         for step in reversed(chain):
             name = step.p("test_name")
+            pos_spec = positional_predicate_spec(step.children[1]) \
+                if len(step.children) > 1 else None
             specs.append((step.p("axis"),
                           NodeTest(kind=step.p("test_kind"),
                                    name=name if name not in (None, "*")
-                                   else None)))
+                                   else None),
+                          pos_spec))
         return axis_step_chain(context, specs, options=self.step_options,
                                stats=self.step_stats,
                                need_item=self._needs_item(head))

@@ -30,6 +30,7 @@ from ..xml.document import DocumentContainer, DocumentStore, NodeRef
 from ..xml.serializer import serialize_sequence
 from ..xml.shredder import shred_document, shred_file
 from . import parser
+from .codegen import compile_plan
 from .compiler import LoopLiftingCompiler
 from .planner import plan_module
 from .types import atomize, to_string
@@ -103,6 +104,15 @@ class EngineOptions:
     #: ``False`` restores the pairwise join schedule of the cost-based
     #: planner bit-identically
     wcoj: bool = True
+    #: plan-to-Python codegen: at prepare time every covered operator of the
+    #: optimized plan compiles into a specialized executor closure (static
+    #: decisions — params, schedules, column requirements, fused chains —
+    #: resolved once; constants inlined), cached on the prepared query next
+    #: to the plan.  Uncovered subtrees (node constructors, user functions)
+    #: fall back to the interpreter per node.  ``False`` is the pure
+    #: operator-at-a-time interpreter baseline; plans and results are
+    #: bit-identical either way
+    codegen: bool = True
 
     def replace(self, **changes: Any) -> "EngineOptions":
         return replace(self, **changes)
@@ -124,13 +134,19 @@ class PlanCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: plans compiled to specialized executors at prepare time (codegen)
+    compiled: int = 0
+    #: plan operators left to the interpreter across those compilations
+    codegen_fallbacks: int = 0
 
     def clear(self) -> None:
         self.hits = self.misses = self.evictions = 0
+        self.compiled = self.codegen_fallbacks = 0
 
     def snapshot(self) -> "PlanCacheStats":
         """An independent copy (for reporting from another thread)."""
-        return PlanCacheStats(self.hits, self.misses, self.evictions)
+        return PlanCacheStats(self.hits, self.misses, self.evictions,
+                              self.compiled, self.codegen_fallbacks)
 
 
 @dataclass
@@ -149,6 +165,10 @@ class PreparedQuery:
     plan: OptimizedModulePlan
     options: "EngineOptions"
     engine: "MonetXQuery" = field(repr=False)
+    #: the plan's :class:`~repro.xquery.codegen.CompiledProgram` when the
+    #: ``codegen`` option is on (``None`` = interpret); cached here so the
+    #: plan-cache key (text + store version + options) governs both
+    compiled: Any = field(default=None, repr=False)
 
     def run(self, *, context: str | None = None) -> "QueryResult":
         """Execute the optimized plan and return the result sequence."""
@@ -348,17 +368,29 @@ class MonetXQuery:
         module = parser.parse(query)
         optimized = optimize(plan_module(module), active,
                              statistics=StoreStatistics.from_store(self.store))
+        compiled = compile_plan(optimized, active) \
+            if getattr(active, "codegen", True) else None
         prepared = PreparedQuery(text=query, plan=optimized,
-                                 options=active, engine=self)
+                                 options=active, engine=self,
+                                 compiled=compiled)
         if self.plan_cache_size > 0:
             with self._plan_lock:
                 existing = self._plan_cache.get(key)
                 if existing is not None:
                     return existing
                 self._plan_cache[key] = prepared
+                if compiled is not None:
+                    self.plan_cache_stats.compiled += 1
+                    self.plan_cache_stats.codegen_fallbacks += \
+                        len(compiled.fallbacks)
                 while len(self._plan_cache) > self.plan_cache_size:
                     self._plan_cache.popitem(last=False)
                     self.plan_cache_stats.evictions += 1
+        elif compiled is not None:
+            with self._plan_lock:
+                self.plan_cache_stats.compiled += 1
+                self.plan_cache_stats.codegen_fallbacks += \
+                    len(compiled.fallbacks)
         return prepared
 
     def explain(self, query: str, *,
@@ -411,7 +443,8 @@ class MonetXQuery:
         context_item = self._context_item(context)
         started = time.perf_counter()
         items = compiler.run_optimized(prepared.plan,
-                                       context_item=context_item)
+                                       context_item=context_item,
+                                       compiled=prepared.compiled)
         elapsed = time.perf_counter() - started
         return QueryResult(items=items, elapsed_seconds=elapsed,
                            step_stats=compiler.step_stats)

@@ -247,8 +247,12 @@ def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
     return _assemble_result(produced, contexts_in, need_item, axis.value)
 
 
-def _collapse_descendant_steps(steps: Sequence[tuple[Axis, NodeTest]]
-                               ) -> list[tuple[Axis, NodeTest]]:
+def _step_spec(step: tuple) -> tuple | None:
+    """The positional spec of a chain step tuple (pairs carry none)."""
+    return step[2] if len(step) > 2 else None
+
+
+def _collapse_descendant_steps(steps: Sequence[tuple]) -> list[tuple]:
     """Collapse ``descendant-or-self::node()/child::T`` pairs into
     ``descendant::T`` inside a fused chain.
 
@@ -259,34 +263,102 @@ def _collapse_descendant_steps(steps: Sequence[tuple[Axis, NodeTest]]
     change the work profile radically: the ``//x`` parse shape no longer
     enumerates the whole subtree as an intermediate context, it becomes a
     single (usually name-index-backed) descendant join.
+
+    Steps carrying a positional spec never collapse: ``//b[1]`` counts
+    children per *each* descendant-or-self context node, which the merged
+    descendant join cannot express.
     """
-    collapsed: list[tuple[Axis, NodeTest]] = []
+    collapsed: list[tuple] = []
     index = 0
     while index < len(steps):
-        axis, node_test = steps[index]
+        step = steps[index]
+        axis, node_test = step[0], step[1]
         if (axis is Axis.DESCENDANT_OR_SELF and node_test.kind == "node"
-                and not node_test.has_name and index + 1 < len(steps)
-                and steps[index + 1][0] is Axis.CHILD):
-            collapsed.append((Axis.DESCENDANT, steps[index + 1][1]))
+                and not node_test.has_name and _step_spec(step) is None
+                and index + 1 < len(steps)
+                and steps[index + 1][0] is Axis.CHILD
+                and _step_spec(steps[index + 1]) is None):
+            collapsed.append((Axis.DESCENDANT,) + tuple(steps[index + 1][1:]))
             index += 2
             continue
-        collapsed.append((axis, node_test))
+        collapsed.append(step)
         index += 1
     return collapsed
 
 
+def _positional_step(container: DocumentContainer,
+                     pairs: list[tuple[int, int]], axis: Axis,
+                     node_test: NodeTest, spec: tuple,
+                     options: StepOptions, stats: StaircaseStats | None
+                     ) -> tuple[array, array, bool]:
+    """One chain step with a positional predicate (``[k]`` / ``[last()]``).
+
+    Positional predicates count per *context node*, but the raw ``(iter,
+    pre)`` buffers only carry iterations — several context nodes of one
+    iteration share an iter value.  So the context is renumbered to one
+    fresh dense iteration per context node (the ordinal doubles as an index
+    back into ``pairs``), the staircase join runs as usual, and the
+    counting loop walks its output in per-context document order keeping
+    the ``k``-th (or last) row of each context before mapping ordinals back
+    to the original iterations.  Still surrogate-free: the count runs on
+    the raw int buffers, nothing is boxed.
+    """
+    contexts = [(pre, ordinal)
+                for ordinal, (pre, _) in enumerate(pairs, start=1)]
+    iters, ranks, is_attr = _produce_step(container, contexts, axis,
+                                          node_test, options, stats)
+    # per-context document order: one context node emits each result node
+    # once, rank-ascending = document order
+    order = sorted(range(len(iters)), key=lambda i: (iters[i], ranks[i]))
+    keep: list[int] = []
+    if spec[0] == "index":
+        wanted = spec[1]
+        count = 0
+        last_ctx = None
+        for i in order:
+            ctx = iters[i]
+            if ctx != last_ctx:
+                count = 0
+                last_ctx = ctx
+            count += 1
+            if count == wanted:
+                keep.append(i)
+    else:  # ("last",)
+        last_ctx = None
+        previous = -1
+        for i in order:
+            ctx = iters[i]
+            if ctx != last_ctx and last_ctx is not None:
+                keep.append(previous)
+            last_ctx = ctx
+            previous = i
+        if last_ctx is not None:
+            keep.append(previous)
+    out_iters = array("q", (pairs[iters[i] - 1][1] for i in keep))
+    out_ranks = array("q", (ranks[i] for i in keep))
+    detail = f"{axis.value}[{wanted}]" if spec[0] == "index" \
+        else f"{axis.value}[last()]"
+    explain.record("step", "step.chain-positional", len(pairs),
+                   len(keep), detail=detail)
+    return out_iters, out_ranks, is_attr
+
+
 def axis_step_chain(context: Table,
-                    steps: Sequence[tuple[Axis, NodeTest]], *,
+                    steps: Sequence[tuple], *,
                     options: StepOptions | None = None,
                     stats: StaircaseStats | None = None,
                     need_item: bool = True) -> Table:
-    """Evaluate a fused chain of predicate-free location steps.
+    """Evaluate a fused chain of location steps.
 
-    ``steps`` lists the chain bottom-most first (``(axis, node_test)``
-    pairs).  Per container, each staircase join's paired ``(iter, pre)``
-    int arrays are threaded straight into the next join — the between-steps
-    sort/dedup runs on the raw buffers — so no intermediate step builds an
-    ``iter|pos|item`` table or boxes a ``NodeRef``.  Only the chain's final
+    ``steps`` lists the chain bottom-most first — ``(axis, node_test)``
+    pairs or ``(axis, node_test, positional_spec)`` triples where the spec
+    is ``None``, ``("index", k)`` for a ``[k]`` predicate or ``("last",)``
+    for ``[last()]``.  Per container, each staircase join's paired
+    ``(iter, pre)`` int arrays are threaded straight into the next join —
+    the between-steps sort/dedup runs on the raw buffers — so no
+    intermediate step builds an ``iter|pos|item`` table or boxes a
+    ``NodeRef``.  Positional predicates run as per-context counting on
+    those same buffers (:func:`_positional_step`).  Only the chain's final
     result is assembled (and boxed at most once; never under
     ``need_item=False``), which is what makes whole path pipelines
     surrogate-free.
@@ -301,11 +373,13 @@ def axis_step_chain(context: Table,
         options = StepOptions()
     if len(steps) < 2:
         raise ValueError("axis_step_chain needs at least two steps")
-    if any(axis is Axis.ATTRIBUTE for axis, _ in steps[:-1]):
+    normalized = [(step[0], step[1], step[2] if len(step) > 2 else None)
+                  for step in steps]
+    if any(axis is Axis.ATTRIBUTE for axis, _, _ in normalized[:-1]):
         raise ValueError("the attribute axis can only end a fused chain")
-    steps = _collapse_descendant_steps(steps)
+    normalized = _collapse_descendant_steps(normalized)
 
-    first_axis, first_test = steps[0]
+    first_axis, first_test, _ = normalized[0]
     per_container = _split_context(context, first_axis, first_test)
     produced: list[tuple[DocumentContainer, array, array, bool]] = []
     contexts_in = 0
@@ -315,16 +389,20 @@ def axis_step_chain(context: Table,
         iters = array("q")
         ranks = array("q")
         is_attr = False
-        for index, (axis, node_test) in enumerate(steps):
+        for index, (axis, node_test, spec) in enumerate(normalized):
             if index:
                 # thread the previous join's output into the next context:
                 # sort/dedup (iter, pre) -> [pre, iter] on the raw buffers
                 pairs = sort_dedup_pairs(ranks, iters)
-            iters, ranks, is_attr = _produce_step(container, pairs, axis,
-                                                  node_test, options, stats)
+            if spec is None:
+                iters, ranks, is_attr = _produce_step(
+                    container, pairs, axis, node_test, options, stats)
+            else:
+                iters, ranks, is_attr = _positional_step(
+                    container, pairs, axis, node_test, spec, options, stats)
         produced.append((container, iters, ranks, is_attr))
 
-    detail = ">".join(axis.value for axis, _ in steps)
+    detail = ">".join(axis.value for axis, _, _ in normalized)
     total_out = sum(len(entry[1]) for entry in produced)
     explain.record("step", "step.chain-fused", contexts_in, total_out,
                    detail=detail)

@@ -1,0 +1,273 @@
+"""Plan-to-Python codegen: compiled closures vs. the interpreter.
+
+Every covered operator kind must execute bit-identically through its
+specialized closure; uncovered subtrees (node constructors, user
+functions) must fall back per node with a reported reason; and the
+compiled program must share the plan cache's lifecycle (store-version
+invalidation, options keying).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineOptions, MonetXQuery
+from repro.relational import capture
+from repro.xquery.codegen import CompiledProgram, compile_plan
+
+from conftest import SMALL_XML
+
+
+#: one query per covered operator kind (some exercise several at once)
+KIND_QUERIES = {
+    "const": "42",
+    "seq": "(1, 2, 3)",
+    "range": "1 to 4",
+    "arith": "2 + 3 * 4",
+    "unary": "-(1 + 2)",
+    "cmp-value": "1 lt 2",
+    "cmp-general": "(1, 2) = (2, 3)",
+    "and-or": "1 = 1 and (2 = 3 or 4 = 4)",
+    "if": 'if (count(//person) > 1) then "many" else "few"',
+    "step": "/site/people/person/name",
+    "step-predicate": '//person[@id = "person1"]/name/text()',
+    "positional": "/site/people/person[2]/name",
+    "last": "/site/people/person[last()]/name",
+    "filter": "(1 to 9)[. mod 3 = 0]",
+    "call": "count(//person)",
+    "context-builtin": "string(/site/people/person[1]/name)",
+    "flwor": ("for $p in /site/people/person "
+              "where $p/profile/@income >= 30000 "
+              "return $p/name/text()"),
+    "flwor-join": ("for $p in /site/people/person "
+                   "for $t in /site/closed_auctions/closed_auction "
+                   "where $t/buyer/@person = $p/@id "
+                   "return $t/price/text()"),
+    "flwor-order": ("for $p in /site/people/person "
+                    "order by $p/name/text() descending "
+                    "return $p/name/text()"),
+    "let": ("for $p in /site/people/person "
+            "let $n := count($p/profile/interest) return $n"),
+    "quantified": ("for $a in /site/open_auctions/open_auction "
+                   "where some $b in $a/bidder "
+                   "satisfies $b/increase/text() >= 5 "
+                   "return $a/@id"),
+    "var-global": "declare variable $n := count(//person); $n + 1",
+}
+
+
+@pytest.fixture
+def engine() -> MonetXQuery:
+    mxq = MonetXQuery()
+    mxq.load_document_text(SMALL_XML, name="auction.xml")
+    return mxq
+
+
+class TestPerKindBitIdentity:
+    @pytest.mark.parametrize("kind", sorted(KIND_QUERIES))
+    def test_compiled_matches_interpreted(self, engine, kind):
+        query = KIND_QUERIES[kind]
+        with capture() as trace:
+            compiled = engine.query(
+                query, options=EngineOptions(codegen=True))
+        interpreted = engine.query(
+            query, options=EngineOptions(codegen=False))
+        assert compiled.serialize() == interpreted.serialize(), query
+        # the compiled path must actually have been taken
+        assert trace.count("plan.codegen") == 1
+
+    def test_interpreter_run_emits_no_codegen_trace(self, engine):
+        with capture() as trace:
+            engine.query("count(//person)",
+                         options=EngineOptions(codegen=False))
+        assert trace.count("plan.codegen") == 0
+
+
+class TestFallbacks:
+    def test_constructor_subtree_falls_back(self, engine):
+        prepared = engine.prepare(
+            "for $p in /site/people/person "
+            "return <n>{count($p/profile/interest)}</n>")
+        assert prepared.compiled is not None
+        assert "node constructor" in prepared.compiled.fallbacks.values()
+        # covered operators around the constructor still compile
+        assert prepared.compiled.compiled_count > 0
+        compiled = prepared.run().serialize()
+        interpreted = engine.query(
+            prepared.text, options=EngineOptions(codegen=False)).serialize()
+        assert compiled == interpreted
+
+    def test_user_function_falls_back_but_body_compiles(self, engine):
+        query = ("declare function local:rich($p) "
+                 "{ $p/profile/@income >= 40000 }; "
+                 "for $p in /site/people/person "
+                 "where local:rich($p) return $p/name/text()")
+        prepared = engine.prepare(query)
+        assert "user function" in prepared.compiled.fallbacks.values()
+        # the function *body*'s operators are covered: they run through
+        # compiled closures when the interpreter evaluates the call
+        assert prepared.compiled.compiled_count > 0
+        assert prepared.run().strings() == ["Alice"]
+
+    def test_fallback_reasons_in_explain(self, engine):
+        rendered = engine.explain(
+            "for $p in /site/people/person return <n>{$p/name}</n>")
+        assert "(interpreted: node constructor)" in rendered
+        assert "(codegen)" in rendered
+
+    def test_coverage_report_always_fires(self, engine):
+        # coverage is computed unconditionally so plan dumps agree
+        for codegen in (True, False):
+            prepared = engine.prepare(
+                "count(//person)", options=EngineOptions(codegen=codegen))
+            assert prepared.plan.report.fired("codegen")
+
+    def test_fallback_report_entries(self, engine):
+        prepared = engine.prepare("<r>{count(//person)}</r>")
+        entries = prepared.plan.report.fired("codegen-fallback")
+        assert any("node constructor" in entry for entry in entries)
+
+
+class TestPlanCacheIntegration:
+    def test_compiled_program_cached_on_prepared_query(self, engine):
+        first = engine.prepare("count(//person)")
+        second = engine.prepare("count(//person)")
+        assert first is second
+        assert isinstance(first.compiled, CompiledProgram)
+        assert second.compiled is first.compiled
+
+    def test_store_version_bump_invalidates(self, engine):
+        before = engine.prepare("count(//person)")
+        engine.load_document_text("<extra/>", name="extra.xml",
+                                  default_context=False)
+        after = engine.prepare("count(//person)")
+        assert after is not before
+        assert after.compiled is not before.compiled
+        assert after.run().items == [3]
+
+    def test_codegen_off_prepares_without_compiled_program(self, engine):
+        prepared = engine.prepare("count(//person)",
+                                  options=EngineOptions(codegen=False))
+        assert prepared.compiled is None
+        assert prepared.run().items == [3]
+
+    def test_options_keying_separates_compiled_and_interpreted(self, engine):
+        compiled = engine.prepare("count(//person)",
+                                  options=EngineOptions(codegen=True))
+        interpreted = engine.prepare("count(//person)",
+                                     options=EngineOptions(codegen=False))
+        assert compiled is not interpreted
+
+    def test_stats_counters(self, engine):
+        engine.prepare("count(//person)")
+        engine.prepare("count(//person)")        # cache hit: no recount
+        engine.prepare("<r>{count(//person)}</r>")
+        stats = engine.plan_cache_stats_snapshot()
+        assert stats.compiled == 2
+        assert stats.codegen_fallbacks >= 1      # the element constructor
+        cleared = engine.plan_cache_stats
+        cleared.clear()
+        assert cleared.compiled == cleared.codegen_fallbacks == 0
+
+    def test_codegen_off_counts_nothing(self):
+        engine = MonetXQuery(EngineOptions(codegen=False))
+        engine.load_document_text(SMALL_XML, name="auction.xml")
+        engine.prepare("count(//person)")
+        stats = engine.plan_cache_stats_snapshot()
+        assert stats.compiled == 0
+        assert stats.codegen_fallbacks == 0
+
+
+class TestPlanRenderParity:
+    def test_plan_render_identical_with_and_without_codegen(self, engine):
+        """The codegen switch changes execution only: the optimized plan
+        (including the coverage annotations) renders byte-identically."""
+        queries = [
+            "count(//person)",
+            "for $p in /site/people/person return <n>{$p/name}</n>",
+            KIND_QUERIES["flwor-join"],
+        ]
+        for query in queries:
+            on = engine.prepare(query, options=EngineOptions(codegen=True))
+            off = engine.prepare(query, options=EngineOptions(codegen=False))
+            assert on.explain() == off.explain(), query
+
+
+class TestPositionalFusedChains:
+    """Satellite: ``[k]`` / ``[last()]`` predicates inside fused chains."""
+
+    POSITIONAL_QUERIES = [
+        "/site/people/person[1]/name",
+        "/site/people/person[2]/name/text()",
+        "/site/people/person[last()]/name",
+        "count(/site/open_auctions/open_auction[1]/bidder)",
+        "//open_auction[last()]/itemref",
+        "/site/closed_auctions/closed_auction[3]/price/text()",
+        "/site/people/person[7]/name",          # out of range: empty
+    ]
+
+    @pytest.mark.parametrize("query", POSITIONAL_QUERIES)
+    def test_positional_chains_fuse_and_agree(self, engine, query):
+        with capture() as trace:
+            fused = engine.query(query)
+        assert trace.count("step.chain-positional") >= 1, query
+        baseline = engine.query(
+            query, options=EngineOptions(step_fusion=False))
+        assert fused.serialize() == baseline.serialize(), query
+
+    def test_positional_chain_under_interpreter_too(self, engine):
+        """The chain runner is shared: the interpreter (codegen=False)
+        takes the same positional fused path."""
+        with capture() as trace:
+            result = engine.query("/site/people/person[2]/name",
+                                  options=EngineOptions(codegen=False))
+        assert trace.count("step.chain-positional") == 1
+        assert result.strings() == ["Bob"]
+
+
+class TestCompileFunction:
+    def test_compile_plan_covers_and_reports(self, engine):
+        prepared = engine.prepare("count(//person)")
+        program = compile_plan(prepared.plan, prepared.options)
+        assert program.compiled_count > 0
+        assert program.fallbacks == {}
+
+    def test_compiled_program_is_shareable(self, engine):
+        """One CompiledProgram serves many executions (and threads): the
+        closures keep no run state, so repeated runs agree."""
+        prepared = engine.prepare(KIND_QUERIES["flwor-join"])
+        first = prepared.run().serialize()
+        for _ in range(3):
+            assert prepared.run().serialize() == first
+
+
+class TestServingIntegration:
+    def test_server_stats_render_counters(self):
+        from repro.server import QueryServer
+
+        with QueryServer(threads=2) as server:
+            server.load_document_text(SMALL_XML, name="auction.xml")
+            for _ in range(3):
+                assert server.execute("count(//person)").items == [3]
+            stats = server.stats()
+            assert stats.plan_cache.compiled >= 1
+            rendered = stats.render()
+            assert "compiled=" in rendered
+            assert "fallback=" in rendered
+
+    def test_process_pool_serves_compiled_plans(self):
+        from repro.server import QueryServer
+
+        queries = [
+            "count(//person)",
+            KIND_QUERIES["flwor-join"],
+            "/site/people/person[2]/name/text()",
+        ]
+        with QueryServer(threads=2) as threaded, \
+                QueryServer(processes=1) as pooled:
+            threaded.load_document_text(SMALL_XML, name="auction.xml")
+            pooled.load_document_text(SMALL_XML, name="auction.xml")
+            for query in queries:
+                for _ in range(2):    # second pass: worker plan-cache hit
+                    assert pooled.submit(query).result().serialize() \
+                        == threaded.execute(query).serialize(), query
