@@ -1,0 +1,184 @@
+"""Window-arithmetic axes vs. the per-iteration fallback — DBLP workloads.
+
+A DBLP-style bibliography is the natural stress test for the horizontal
+axes: one flat ``<dblp>`` element with thousands of record children, each
+record a short sibling run (authors, title, pages, year, ee).  Four
+workloads exercise the window kernels where the per-iteration fallback
+(``loop_lifted_other=False``: one plain staircase join per binding) pays
+one document scan per context node:
+
+* **sibling titles** — ``following-sibling::title`` from every author:
+  the loop-lifted kernel groups all authors of a record to one
+  representative and walks each sibling run once,
+* **following scan** — ``count(following::note)`` from every author: the
+  window kernel bisects the (singleton) candidate list per iteration,
+  the fallback scans from each author to the end of the document,
+* **preceding-sibling first** — ``preceding-sibling::author[1]`` from
+  every title, a reverse axis with a proximity-order positional
+  predicate,
+* **ancestor count** — ``count(ancestor::*)`` from every year element,
+  the stack-scan kernel vs. one staircase join per binding.
+
+Vectorized and fallback results are asserted bit-identical before any
+timing, and the explain trace must show the vectorized run never takes
+the per-iteration (``step.iterative``) path.  The acceptance floor of the
+axis work is the *mix*: total fallback time over total vectorized time
+across the four workloads must be >= 5x.  Results land in
+``benchmarks/results/BENCH_bench_axes.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import EngineOptions, MonetXQuery
+from repro.relational.explain import capture
+
+from .conftest import BASE_SCALE, SEED, write_bench_json
+
+#: the horizontal-axis gap needs enough records that per-query fixed costs
+#: do not drown the scan difference — keep a floor under the smoke scale
+SCALE = max(BASE_SCALE, 0.002)
+#: records per unit scale: SCALE=0.002 gives a ~360-record bibliography
+RECORDS_PER_SCALE = 180_000
+REPEATS = 5
+
+MIX_FLOOR = 5.0
+
+_RESULTS: dict[str, dict] = {}
+_ENGINE: MonetXQuery | None = None
+
+
+def generate_dblp(scale: float, seed: int) -> str:
+    """A deterministic flat DBLP-style bibliography.
+
+    Record shape follows dblp.xml: ``article`` / ``inproceedings``
+    children of one flat root, each holding 1-4 ``author`` elements, a
+    ``title``, ``pages``, ``year`` and an optional ``ee`` — wide sibling
+    runs under a single parent, the exact opposite of XMark's deep trees.
+    A single trailing ``note`` keeps ``following::note`` result sizes
+    linear in the number of authors.
+    """
+    rng = random.Random(seed)
+    records = max(60, int(RECORDS_PER_SCALE * scale))
+    parts = ["<dblp>"]
+    for index in range(records):
+        kind = "article" if rng.random() < 0.7 else "inproceedings"
+        parts.append(f'<{kind} key="ref/{index}">')
+        for _ in range(rng.randint(1, 4)):
+            parts.append(f"<author>Author {rng.randrange(records)}</author>")
+        parts.append(f"<title>Paper {index}</title>")
+        parts.append(f"<pages>{index}-{index + 9}</pages>")
+        parts.append(f"<year>{1990 + index % 36}</year>")
+        if rng.random() < 0.3:
+            parts.append(f"<ee>https://doi.org/10.1000/{index}</ee>")
+        parts.append(f"</{kind}>")
+    parts.append("<note>end of snapshot</note></dblp>")
+    return "".join(parts)
+
+
+def engine() -> MonetXQuery:
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = MonetXQuery()
+        _ENGINE.load_document_text(generate_dblp(SCALE, SEED),
+                                   name="dblp.xml")
+    return _ENGINE
+
+
+def best_of(prepared, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        prepared.run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure(workload: str, query: str, detail: str) -> float:
+    mxq = engine()
+    vectorized = mxq.prepare(query, options=EngineOptions())
+    fallback = mxq.prepare(
+        query, options=EngineOptions(loop_lifted_other=False))
+
+    # correctness first: the kernels may change how an axis runs, never
+    # its bytes — and the vectorized plan must not fall back per iteration
+    assert vectorized.run().serialize() == fallback.run().serialize()
+    with capture() as trace:
+        vectorized.run()
+    assert trace.count("step.iterative") == 0, \
+        f"workload {workload!r} took the per-iteration fallback"
+
+    vectorized_seconds = best_of(vectorized)
+    fallback_seconds = best_of(fallback)
+    speedup = fallback_seconds / vectorized_seconds if vectorized_seconds \
+        else float("inf")
+    _RESULTS[workload] = {
+        "query": query,
+        "vectorized_s": vectorized_seconds,
+        "fallback_s": fallback_seconds,
+        "speedup": speedup,
+        "detail": detail,
+    }
+    _write()
+    return speedup
+
+
+def _write() -> None:
+    totals = {
+        "vectorized_s": sum(w["vectorized_s"] for w in _RESULTS.values()),
+        "fallback_s": sum(w["fallback_s"] for w in _RESULTS.values()),
+    }
+    totals["mix_speedup"] = (totals["fallback_s"] / totals["vectorized_s"]
+                             if totals["vectorized_s"] else float("inf"))
+    write_bench_json("bench_axes", {"scale_used": SCALE,
+                                    "mix_floor": MIX_FLOOR,
+                                    "workloads": _RESULTS,
+                                    "totals": totals})
+
+
+def test_sibling_titles():
+    speedup = measure(
+        "sibling_titles",
+        "for $a in //author return $a/following-sibling::title",
+        "following-sibling from every author: grouped sibling runs vs. "
+        "one staircase join per author")
+    assert speedup >= 1.5, f"sibling titles speedup only {speedup:.1f}x"
+
+
+def test_following_scan():
+    speedup = measure(
+        "following_scan",
+        "for $a in //author return count($a/following::note)",
+        "following window from every author: candidate bisection vs. one "
+        "document-tail scan per author")
+    assert speedup >= 5.0, f"following scan speedup only {speedup:.1f}x"
+
+
+def test_preceding_sibling_first():
+    speedup = measure(
+        "preceding_sibling_first",
+        "for $t in //title return $t/preceding-sibling::author[1]",
+        "reverse sibling axis with a proximity-order positional predicate "
+        "from every title")
+    assert speedup >= 1.2, \
+        f"preceding-sibling[1] speedup only {speedup:.1f}x"
+
+
+def test_ancestor_count():
+    speedup = measure(
+        "ancestor_count",
+        "for $y in //year return count($y/ancestor::*)",
+        "ancestor chains from every year: one stack scan vs. one "
+        "staircase join per binding")
+    assert speedup >= 1.2, f"ancestor count speedup only {speedup:.1f}x"
+
+
+def test_mix_meets_the_acceptance_floor():
+    """The sibling/following mix must beat the fallback >= 5x overall."""
+    assert len(_RESULTS) == 4, "run the whole module, not a single test"
+    totals_fallback = sum(w["fallback_s"] for w in _RESULTS.values())
+    totals_vectorized = sum(w["vectorized_s"] for w in _RESULTS.values())
+    mix = totals_fallback / totals_vectorized
+    assert mix >= MIX_FLOOR, f"axis mix speedup only {mix:.1f}x"

@@ -256,10 +256,37 @@ class TreeWalkingInterpreter:
             return produced
 
         if node.attr is not None:
+            # XPath defines the vertical and horizontal axes for attribute
+            # nodes via the owning element: the owner is the parent, its
+            # ancestor-or-self chain are the ancestors, and the attribute
+            # sorts after the owner but before the owner's children — so
+            # following(attr) = descendant(owner) ∪ following(owner) and
+            # preceding(attr) = preceding(owner).  Candidate lists are
+            # built in axis order (proximity-first for reverse axes) so
+            # positional predicates count along the axis direction.
+            owner = NodeRef(container, node.pre)
             if axis is Axis.PARENT:
-                return [NodeRef(container, node.pre)]
+                return self._axis_nodes(
+                    owner, ast.AxisStep(axis=Axis.SELF, node_test=test))
             if axis is Axis.SELF:
                 return [node] if test.kind in ("attribute", "node") else []
+            if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+                produced = [node] if axis is Axis.ANCESTOR_OR_SELF \
+                    and test.kind in ("attribute", "node") else []
+                produced += self._axis_nodes(
+                    owner, ast.AxisStep(axis=Axis.ANCESTOR_OR_SELF,
+                                        node_test=test))
+                return produced
+            if axis is Axis.FOLLOWING:
+                return self._axis_nodes(
+                    owner, ast.AxisStep(axis=Axis.DESCENDANT,
+                                        node_test=test)) \
+                    + self._axis_nodes(
+                        owner, ast.AxisStep(axis=Axis.FOLLOWING,
+                                            node_test=test))
+            if axis is Axis.PRECEDING:
+                return self._axis_nodes(
+                    owner, ast.AxisStep(axis=Axis.PRECEDING, node_test=test))
             return []
 
         pre = node.pre
@@ -287,7 +314,9 @@ class TreeWalkingInterpreter:
         elif axis is Axis.FOLLOWING:
             candidates = list(range(pre + size + 1, container.node_count))
         elif axis is Axis.PRECEDING:
-            candidates = [candidate for candidate in range(pre)
+            # proximity (reverse document) order, like the ancestor chain
+            # above: predicates on reverse axes count nearest-first
+            candidates = [candidate for candidate in range(pre - 1, -1, -1)
                           if candidate + container.size[candidate] < pre]
         elif axis is Axis.FOLLOWING_SIBLING:
             parent = container.parent_pre(pre)
@@ -296,7 +325,8 @@ class TreeWalkingInterpreter:
         elif axis is Axis.PRECEDING_SIBLING:
             parent = container.parent_pre(pre)
             candidates = [] if parent is None else [
-                sibling for sibling in container.children_pre(parent) if sibling < pre]
+                sibling for sibling in reversed(list(container.children_pre(parent)))
+                if sibling < pre]
         else:  # pragma: no cover - defensive
             raise XQueryUnsupportedError(f"axis {axis} not supported")
 

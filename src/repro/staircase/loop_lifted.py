@@ -25,6 +25,7 @@ the plain staircase join once per iteration — see
 
 from __future__ import annotations
 
+import bisect
 from array import array
 from dataclasses import dataclass
 
@@ -195,11 +196,9 @@ def ll_descendant_arrays(container: DocumentContainer, context: ContextPairs, *,
                     break
                 continue
         # the current node is a descendant of every still-active context
-        if active:
+        emitted = [iteration for _, iteration in active]
+        if emitted:
             stats.touch()
-            for _, iteration in active:
-                out_iters.append(iteration)
-                out_pres.append(position)
         # activate context nodes located at the current position
         while index < total and context[index][0] == position:
             pre, iteration = context[index]
@@ -211,10 +210,18 @@ def ll_descendant_arrays(container: DocumentContainer, context: ContextPairs, *,
                 # it anyway
                 stats.contexts_pruned += 1
                 continue
-            active.append((pre + size[pre], iteration))
+            # keep the active list iteration-ordered so rows sharing a pre
+            # rank come out iteration-ascending (the shared (pre, iter)
+            # output contract of every array producer)
+            bisect.insort(active, (pre + size[pre], iteration),
+                          key=lambda entry: entry[1])
             if or_self:
-                out_iters.append(iteration)
-                out_pres.append(pre)
+                emitted.append(iteration)
+        if emitted:
+            if or_self:
+                emitted.sort()
+            out_iters.extend(emitted)
+            out_pres.extend([position] * len(emitted))
         position += 1
 
     stats.results += len(out_pres)
@@ -231,91 +238,318 @@ def ll_descendant(container: DocumentContainer, context: ContextPairs, *,
 
 
 # --------------------------------------------------------------------------- #
-# remaining axes
+# remaining axes — window arithmetic on the (pre, size, level) columns
 # --------------------------------------------------------------------------- #
+def ll_self_arrays(container: DocumentContainer, context: ContextPairs, *,
+                   stats: StaircaseStats | None = None,
+                   normalized: bool = False) -> "tuple[array, array]":
+    """The self axis is the identity on the normalized context."""
+    if stats is None:
+        stats = StaircaseStats()
+    if not normalized:
+        context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    out_iters = array("q", (iteration for _, iteration in context))
+    out_pres = array("q", (pre for pre, _ in context))
+    stats.results += len(out_pres)
+    return out_iters, out_pres
+
+
+def ancestor_stack_scan(container: DocumentContainer, context: ContextPairs):
+    """One forward skip-scan over a normalized context, yielding
+    ``(pre, iterations, stack)`` per distinct context pre rank.
+
+    ``stack`` is the open-ancestor chain of ``pre`` as ``(ancestor_pre,
+    ancestor_end)`` entries, outermost first — derived in a single pass by
+    advancing a global cursor: subtrees that end before the next context
+    node are skipped wholesale (``v += size[v] + 1``), nodes whose subtree
+    covers it are pushed (they are exactly its ancestors).  Total cost is
+    O(context + distinct ancestors touched), independent of the pre gaps
+    the per-node ``parent_pre`` walk would re-scan.
+
+    The yielded stack is reused across yields — callers must not hold on
+    to it after advancing the generator.
+    """
+    size = container.size
+    stack: list[tuple[int, int]] = []
+    cursor = 0
+    index = 0
+    total = len(context)
+    while index < total:
+        pre = context[index][0]
+        iterations = []
+        while index < total and context[index][0] == pre:
+            iterations.append(context[index][1])
+            index += 1
+        while stack and stack[-1][1] < pre:
+            stack.pop()
+        while cursor < pre:
+            end = cursor + size[cursor]
+            if end < pre:
+                cursor = end + 1
+            else:
+                stack.append((cursor, end))
+                cursor += 1
+        yield pre, iterations, stack
+
+
+def ll_parent_arrays(container: DocumentContainer, context: ContextPairs, *,
+                     stats: StaircaseStats | None = None,
+                     normalized: bool = False) -> "tuple[array, array]":
+    """Loop-lifted parent step via the ancestor-stack scan (the parent of
+    each context node is the top of its open-ancestor stack)."""
+    if stats is None:
+        stats = StaircaseStats()
+    if not normalized:
+        context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    pairs: set[tuple[int, int]] = set()
+    for pre, iterations, stack in ancestor_stack_scan(container, context):
+        stats.touch()
+        if not stack:
+            continue                    # document root: no parent
+        parent = stack[-1][0]
+        for iteration in iterations:
+            pairs.add((parent, iteration))
+    ordered = sorted(pairs)
+    out_iters = array("q", (iteration for _, iteration in ordered))
+    out_pres = array("q", (pre for pre, _ in ordered))
+    stats.results += len(out_pres)
+    return out_iters, out_pres
+
+
+def ll_ancestor_arrays(container: DocumentContainer, context: ContextPairs, *,
+                       or_self: bool = False,
+                       stats: StaircaseStats | None = None,
+                       normalized: bool = False) -> "tuple[array, array]":
+    """Loop-lifted ancestor(-or-self) step via the ancestor-stack scan.
+
+    The open-ancestor stack at each context node *is* its ancestor chain;
+    walking it innermost-first allows path-sharing pruning per iteration —
+    once an (ancestor, iteration) pair is known, all its own ancestors were
+    recorded alongside it.
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    if not normalized:
+        context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    seen: set[tuple[int, int]] = set()
+    for pre, iterations, stack in ancestor_stack_scan(container, context):
+        stats.touch()
+        for iteration in iterations:
+            if or_self:
+                seen.add((pre, iteration))
+            for ancestor, _ in reversed(stack):
+                key = (ancestor, iteration)
+                if key in seen:
+                    break               # pruning: chain already emitted
+                seen.add(key)
+    ordered = sorted(seen)
+    out_iters = array("q", (iteration for _, iteration in ordered))
+    out_pres = array("q", (pre for pre, _ in ordered))
+    stats.results += len(out_pres)
+    return out_iters, out_pres
+
+
+def ll_following_arrays(container: DocumentContainer, context: ContextPairs, *,
+                        stats: StaircaseStats | None = None,
+                        normalized: bool = False) -> "tuple[array, array]":
+    """Loop-lifted following step as one dense window per iteration.
+
+    ``following(c) = pre(v) > pre(c) + size(c)``, so the union over an
+    iteration's context set is the single window starting after the
+    *earliest* context subtree end.  Iterations are activated in bound
+    order during one sweep, keeping the output sorted ``(pre, iter)``
+    without a final sort; the single-iteration case is two C-level extends.
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    if not normalized:
+        context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    size = container.size
+    bound: dict[int, int] = {}          # iteration -> min subtree end
+    for pre, iteration in context:
+        end = pre + size[pre]
+        if iteration not in bound or end < bound[iteration]:
+            bound[iteration] = end
+    out_iters = array("q")
+    out_pres = array("q")
+    total = container.node_count
+    if len(bound) == 1:
+        iteration, end = next(iter(bound.items()))
+        span = range(end + 1, total)
+        stats.touch(len(span))
+        out_pres.extend(span)
+        out_iters.extend([iteration] * len(span))
+    elif bound:
+        starts = sorted((end + 1, iteration)
+                        for iteration, end in bound.items())
+        active: list[int] = []
+        index = 0
+        count = len(starts)
+        while index < count:
+            segment_start = starts[index][0]
+            while index < count and starts[index][0] == segment_start:
+                active.append(starts[index][1])
+                index += 1
+            active.sort()
+            segment_end = starts[index][0] - 1 if index < count else total - 1
+            for pre in range(segment_start, min(segment_end, total - 1) + 1):
+                stats.touch()
+                out_iters.extend(active)
+                out_pres.extend([pre] * len(active))
+    stats.results += len(out_pres)
+    return out_iters, out_pres
+
+
+def ll_preceding_arrays(container: DocumentContainer, context: ContextPairs, *,
+                        stats: StaircaseStats | None = None,
+                        normalized: bool = False) -> "tuple[array, array]":
+    """Loop-lifted preceding step as a shrinking subtree-block scan.
+
+    ``preceding(c) = pre(v) + size(v) < pre(c)``: per iteration the union
+    is governed by the *latest* context pre ``b``.  Scanning from the
+    document start, a node whose subtree ends before ``b`` contributes its
+    whole subtree as one dense block (every node inside also ends before
+    ``b``) and the scan jumps past it; otherwise the node is an ancestor
+    of ``b`` and the scan steps inside.  Only the O(depth) ancestors of
+    ``b`` are stepped over one by one — the scan is proportional to the
+    output, not the document.
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    if not normalized:
+        context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    size = container.size
+    bound: dict[int, int] = {}          # iteration -> max context pre
+    for pre, iteration in context:
+        if iteration not in bound or pre > bound[iteration]:
+            bound[iteration] = pre
+
+    out_iters = array("q")
+    out_pres = array("q")
+    if len(bound) == 1:
+        iteration, limit = next(iter(bound.items()))
+        pre = 0
+        while pre < limit:
+            stats.touch()
+            end = pre + size[pre]
+            if end < limit:
+                span = range(pre, end + 1)
+                out_pres.extend(span)
+                out_iters.extend([iteration] * len(span))
+                pre = end + 1
+            else:
+                pre += 1                # ancestor of the bound: not preceding
+    elif bound:
+        pairs: ResultPairs = []         # (pre, iteration) for the final sort
+        for iteration, limit in bound.items():
+            pre = 0
+            while pre < limit:
+                stats.touch()
+                end = pre + size[pre]
+                if end < limit:
+                    pairs.extend((node, iteration)
+                                 for node in range(pre, end + 1))
+                    pre = end + 1
+                else:
+                    pre += 1
+        pairs.sort()
+        out_iters.extend(iteration for _, iteration in pairs)
+        out_pres.extend(pre for pre, _ in pairs)
+    stats.results += len(out_pres)
+    return out_iters, out_pres
+
+
+def ll_siblings_arrays(container: DocumentContainer, context: ContextPairs, *,
+                       following: bool,
+                       stats: StaircaseStats | None = None,
+                       normalized: bool = False) -> "tuple[array, array]":
+    """Loop-lifted sibling steps with per-(parent, iteration) shrinking.
+
+    Parents come from the one-pass ancestor-stack scan (no per-node
+    ``parent_pre`` walks).  Context nodes sharing a parent within one
+    iteration collapse to a single representative — the *earliest* for
+    following-sibling (its following siblings cover every later context's)
+    and the *latest* for preceding-sibling — so each sibling run is hopped
+    exactly once per group, and distinct groups are disjoint by
+    construction (every node has one parent): no dedup pass is needed.
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    if not normalized:
+        context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    size = container.size
+    # (parent, parent_end, iteration) -> representative context pre;
+    # the scan is pre-ascending, so first-wins = min, last-wins = max
+    groups: dict[tuple[int, int, int], int] = {}
+    for pre, iterations, stack in ancestor_stack_scan(container, context):
+        stats.touch()
+        if not stack:
+            continue                    # document root: no siblings
+        parent, parent_end = stack[-1]
+        for iteration in iterations:
+            key = (parent, parent_end, iteration)
+            if following:
+                groups.setdefault(key, pre)
+            else:
+                groups[key] = pre
+    pairs: ResultPairs = []             # (pre, iteration)
+    for (parent, parent_end, iteration), pre in groups.items():
+        if following:
+            sibling = pre + size[pre] + 1
+            while sibling <= parent_end:
+                stats.touch()
+                pairs.append((sibling, iteration))
+                sibling += size[sibling] + 1
+        else:
+            sibling = parent + 1
+            while sibling < pre:
+                stats.touch()
+                pairs.append((sibling, iteration))
+                sibling += size[sibling] + 1
+    pairs.sort()
+    out_iters = array("q", (iteration for _, iteration in pairs))
+    out_pres = array("q", (pre for pre, _ in pairs))
+    stats.results += len(out_pres)
+    return out_iters, out_pres
+
+
+# tuple-pair facades kept for the tests and exploratory use -------------------
 def ll_self(container: DocumentContainer, context: ContextPairs) -> ResultPairs:
-    return [(iteration, pre) for pre, iteration in normalize_context(context)]
+    iters, pres = ll_self_arrays(container, context)
+    return list(zip(iters, pres))
 
 
 def ll_parent(container: DocumentContainer, context: ContextPairs) -> ResultPairs:
-    result: ResultPairs = []
-    seen: set[tuple[int, int]] = set()
-    for pre, iteration in normalize_context(context):
-        parent = container.parent_pre(pre)
-        if parent is None:
-            continue
-        key = (iteration, parent)
-        if key not in seen:
-            seen.add(key)
-            result.append(key)
-    return result
+    iters, pres = ll_parent_arrays(container, context)
+    return list(zip(iters, pres))
 
 
 def ll_ancestor(container: DocumentContainer, context: ContextPairs, *,
                 or_self: bool = False) -> ResultPairs:
-    seen: set[tuple[int, int]] = set()
-    for pre, iteration in normalize_context(context):
-        if or_self:
-            seen.add((iteration, pre))
-        current = container.parent_pre(pre)
-        while current is not None:
-            key = (iteration, current)
-            if key in seen:
-                break                   # pruning: path already emitted
-            seen.add(key)
-            current = container.parent_pre(current)
-    return sorted(seen, key=lambda pair: (pair[1], pair[0]))
+    iters, pres = ll_ancestor_arrays(container, context, or_self=or_self)
+    return list(zip(iters, pres))
 
 
 def ll_following(container: DocumentContainer, context: ContextPairs) -> ResultPairs:
-    # per iteration the union of following regions starts after the earliest
-    # context subtree end
-    first_end: dict[int, int] = {}
-    for pre, iteration in context:
-        end = pre + container.size[pre]
-        if iteration not in first_end or end < first_end[iteration]:
-            first_end[iteration] = end
-    result: ResultPairs = []
-    for node in range(container.node_count):
-        for iteration, end in first_end.items():
-            if node > end:
-                result.append((iteration, node))
-    return result
+    iters, pres = ll_following_arrays(container, context)
+    return list(zip(iters, pres))
 
 
 def ll_preceding(container: DocumentContainer, context: ContextPairs) -> ResultPairs:
-    last: dict[int, int] = {}
-    for pre, iteration in context:
-        if iteration not in last or pre > last[iteration]:
-            last[iteration] = pre
-    result: ResultPairs = []
-    for node in range(container.node_count):
-        node_end = node + container.size[node]
-        for iteration, pre in last.items():
-            if node < pre and node_end < pre:
-                result.append((iteration, node))
-    return result
+    iters, pres = ll_preceding_arrays(container, context)
+    return list(zip(iters, pres))
 
 
 def ll_siblings(container: DocumentContainer, context: ContextPairs, *,
                 following: bool) -> ResultPairs:
-    seen: set[tuple[int, int]] = set()
-    for pre, iteration in normalize_context(context):
-        parent = container.parent_pre(pre)
-        if parent is None:
-            continue
-        if following:
-            sibling = pre + container.size[pre] + 1
-            end = parent + container.size[parent]
-            while sibling <= end:
-                seen.add((iteration, sibling))
-                sibling += container.size[sibling] + 1
-        else:
-            sibling = parent + 1
-            while sibling < pre:
-                seen.add((iteration, sibling))
-                sibling += container.size[sibling] + 1
-    return sorted(seen, key=lambda pair: (pair[1], pair[0]))
+    iters, pres = ll_siblings_arrays(container, context, following=following)
+    return list(zip(iters, pres))
 
 
 def ll_attribute(container: DocumentContainer, context: ContextPairs,
@@ -344,13 +578,13 @@ def loop_lifted_step_arrays(container: DocumentContainer, context: ContextPairs,
     """Evaluate one location step for all iterations in a single pass,
     returning the result as paired ``(iter, pre)`` ``array('q')`` columns.
 
-    The child and descendant axes run natively on arrays; the remaining
-    axes convert their pair lists once.  This is the producer the typed
-    executor consumes — step results feed the relational layer without
-    ever round-tripping through lists of Python tuples.  ``normalized=True``
-    promises the context is already sorted on ``[pre, iter]`` and duplicate
-    free (it is forwarded to the scan-axis kernels; the remaining axes
-    normalize internally either way).
+    Every tree axis runs natively on arrays — the window-arithmetic
+    kernels above share the output contract (rows sorted ``(pre, iter)``,
+    duplicate free, document order per iteration).  This is the producer
+    the typed executor consumes — step results feed the relational layer
+    without ever round-tripping through lists of Python tuples.
+    ``normalized=True`` promises the context is already sorted on
+    ``[pre, iter]`` and duplicate free.
     """
     if axis is Axis.ATTRIBUTE:
         raise StaircaseJoinError("attribute axis is handled by ll_attribute()")
@@ -363,9 +597,32 @@ def loop_lifted_step_arrays(container: DocumentContainer, context: ContextPairs,
     elif axis is Axis.DESCENDANT_OR_SELF:
         iters, pres = ll_descendant_arrays(container, context, or_self=True,
                                            stats=stats, normalized=normalized)
-    else:
-        iters, pres = pairs_to_arrays(
-            _ll_other_axis(container, context, axis))
+    elif axis is Axis.SELF:
+        iters, pres = ll_self_arrays(container, context, stats=stats,
+                                     normalized=normalized)
+    elif axis is Axis.PARENT:
+        iters, pres = ll_parent_arrays(container, context, stats=stats,
+                                       normalized=normalized)
+    elif axis is Axis.ANCESTOR:
+        iters, pres = ll_ancestor_arrays(container, context, stats=stats,
+                                         normalized=normalized)
+    elif axis is Axis.ANCESTOR_OR_SELF:
+        iters, pres = ll_ancestor_arrays(container, context, or_self=True,
+                                         stats=stats, normalized=normalized)
+    elif axis is Axis.FOLLOWING:
+        iters, pres = ll_following_arrays(container, context, stats=stats,
+                                          normalized=normalized)
+    elif axis is Axis.PRECEDING:
+        iters, pres = ll_preceding_arrays(container, context, stats=stats,
+                                          normalized=normalized)
+    elif axis is Axis.FOLLOWING_SIBLING:
+        iters, pres = ll_siblings_arrays(container, context, following=True,
+                                         stats=stats, normalized=normalized)
+    elif axis is Axis.PRECEDING_SIBLING:
+        iters, pres = ll_siblings_arrays(container, context, following=False,
+                                         stats=stats, normalized=normalized)
+    else:  # pragma: no cover - the Axis enum is exhausted above
+        raise StaircaseJoinError(f"unsupported axis {axis}")
 
     if node_test is not None and node_test != NodeTest(kind="node"):
         matches = node_test.matches_tree_node
@@ -377,28 +634,6 @@ def loop_lifted_step_arrays(container: DocumentContainer, context: ContextPairs,
                 kept_pres.append(pre)
         return kept_iters, kept_pres
     return iters, pres
-
-
-def _ll_other_axis(container: DocumentContainer, context: ContextPairs,
-                   axis: Axis) -> ResultPairs:
-    """The pair-list algorithms for the remaining (non-scan) axes."""
-    if axis is Axis.SELF:
-        return ll_self(container, context)
-    if axis is Axis.PARENT:
-        return ll_parent(container, context)
-    if axis is Axis.ANCESTOR:
-        return ll_ancestor(container, context)
-    if axis is Axis.ANCESTOR_OR_SELF:
-        return ll_ancestor(container, context, or_self=True)
-    if axis is Axis.FOLLOWING:
-        return ll_following(container, context)
-    if axis is Axis.PRECEDING:
-        return ll_preceding(container, context)
-    if axis is Axis.FOLLOWING_SIBLING:
-        return ll_siblings(container, context, following=True)
-    if axis is Axis.PRECEDING_SIBLING:
-        return ll_siblings(container, context, following=False)
-    raise StaircaseJoinError(f"unsupported axis {axis}")  # pragma: no cover
 
 
 def loop_lifted_step(container: DocumentContainer, context: ContextPairs,

@@ -21,8 +21,8 @@ import bisect
 from ..xml.document import DocumentContainer
 from .axes import Axis, NodeTest
 from .iterative import StaircaseStats
-from .loop_lifted import (ContextPairs, ResultPairs, ll_attribute,
-                          loop_lifted_step, normalize_context)
+from .loop_lifted import (ContextPairs, ResultPairs, ancestor_stack_scan,
+                          ll_attribute, loop_lifted_step, normalize_context)
 
 
 def candidate_list(container: DocumentContainer, node_test: NodeTest) -> list[int] | None:
@@ -116,6 +116,117 @@ def ll_descendant_pushdown(container: DocumentContainer, context: ContextPairs,
     return result
 
 
+def ll_following_pushdown(container: DocumentContainer, context: ContextPairs,
+                          candidates: list[int], *,
+                          stats: StaircaseStats | None = None,
+                          normalized: bool = False) -> ResultPairs:
+    """Loop-lifted following step against a sorted candidate list.
+
+    Per iteration the following window is everything after the earliest
+    context subtree end; one ``bisect`` finds the matching candidate
+    suffix — no document scan, no post-filter.
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    if not normalized:
+        context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    size = container.size
+    bound: dict[int, int] = {}          # iteration -> min subtree end
+    for pre, iteration in context:
+        end = pre + size[pre]
+        if iteration not in bound or end < bound[iteration]:
+            bound[iteration] = end
+    result: ResultPairs = []
+    for iteration, end in bound.items():
+        start = bisect.bisect_right(candidates, end)
+        stats.touch(len(candidates) - start)
+        result.extend((iteration, candidate)
+                      for candidate in candidates[start:])
+    result.sort(key=lambda pair: (pair[1], pair[0]))
+    return result
+
+
+def ll_preceding_pushdown(container: DocumentContainer, context: ContextPairs,
+                          candidates: list[int], *,
+                          stats: StaircaseStats | None = None,
+                          normalized: bool = False) -> ResultPairs:
+    """Loop-lifted preceding step against a sorted candidate list.
+
+    Per iteration only candidates before the latest context pre can
+    qualify (one ``bisect``), and of those only the non-ancestors — the
+    ``end < bound`` filter drops the O(depth) ancestors of the bound node.
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    if not normalized:
+        context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    size = container.size
+    bound: dict[int, int] = {}          # iteration -> max context pre
+    for pre, iteration in context:
+        if iteration not in bound or pre > bound[iteration]:
+            bound[iteration] = pre
+    result: ResultPairs = []
+    for iteration, limit in bound.items():
+        stop = bisect.bisect_left(candidates, limit)
+        stats.touch(stop)
+        result.extend((iteration, candidate)
+                      for candidate in candidates[:stop]
+                      if candidate + size[candidate] < limit)
+    result.sort(key=lambda pair: (pair[1], pair[0]))
+    return result
+
+
+def ll_sibling_pushdown(container: DocumentContainer, context: ContextPairs,
+                        candidates: list[int], *, following: bool,
+                        stats: StaircaseStats | None = None,
+                        normalized: bool = False) -> ResultPairs:
+    """Loop-lifted sibling steps against a sorted candidate list.
+
+    Parents come from the one-pass ancestor-stack scan; context nodes
+    sharing a parent within an iteration collapse to one representative
+    (earliest for following-sibling, latest for preceding-sibling).  The
+    candidates inside the sibling window are located by binary search; a
+    candidate is a sibling iff its level equals the context level —
+    within the parent's subtree that pins it to the child level.
+    """
+    if stats is None:
+        stats = StaircaseStats()
+    if not normalized:
+        context = normalize_context(context)
+    stats.contexts_seen += len(context)
+    size = container.size
+    level = container.level
+    groups: dict[tuple[int, int, int], int] = {}
+    for pre, iterations, stack in ancestor_stack_scan(container, context):
+        stats.touch()
+        if not stack:
+            continue                    # document root: no siblings
+        parent, parent_end = stack[-1]
+        for iteration in iterations:
+            key = (parent, parent_end, iteration)
+            if following:
+                groups.setdefault(key, pre)
+            else:
+                groups[key] = pre
+    result: ResultPairs = []
+    for (parent, parent_end, iteration), pre in groups.items():
+        sibling_level = level[pre]
+        if following:
+            low = bisect.bisect_right(candidates, pre + size[pre])
+            high = bisect.bisect_right(candidates, parent_end)
+        else:
+            low = bisect.bisect_right(candidates, parent)
+            high = bisect.bisect_left(candidates, pre)
+        for candidate in candidates[low:high]:
+            stats.touch()
+            if level[candidate] == sibling_level:
+                result.append((iteration, candidate))
+    result.sort(key=lambda pair: (pair[1], pair[0]))
+    return result
+
+
 def loop_lifted_step_pushdown(container: DocumentContainer, context: ContextPairs,
                               axis: Axis, node_test: NodeTest | None, *,
                               stats: StaircaseStats | None = None,
@@ -124,9 +235,12 @@ def loop_lifted_step_pushdown(container: DocumentContainer, context: ContextPair
 
     Returns ``None`` when pushdown is not applicable for the axis/node-test
     combination, in which case the caller should use the post-filter variant
-    (:func:`repro.staircase.loop_lifted.loop_lifted_step`).  As with the
-    plain array producers, ``normalized=True`` promises the context is
-    already sorted on ``[pre, iter]`` and duplicate free.
+    (:func:`repro.staircase.loop_lifted.loop_lifted_step`).  The self,
+    parent and ancestor axes stay on the post-filter path: their result
+    is bounded by the context (times depth) already, so the candidate
+    merge buys nothing.  As with the plain array producers,
+    ``normalized=True`` promises the context is already sorted on
+    ``[pre, iter]`` and duplicate free.
     """
     candidates = candidate_list(container, node_test) if node_test else None
     if candidates is None:
@@ -141,4 +255,18 @@ def loop_lifted_step_pushdown(container: DocumentContainer, context: ContextPair
         return ll_descendant_pushdown(container, context, candidates,
                                       or_self=True, stats=stats,
                                       normalized=normalized)
+    if axis is Axis.FOLLOWING:
+        return ll_following_pushdown(container, context, candidates,
+                                     stats=stats, normalized=normalized)
+    if axis is Axis.PRECEDING:
+        return ll_preceding_pushdown(container, context, candidates,
+                                     stats=stats, normalized=normalized)
+    if axis is Axis.FOLLOWING_SIBLING:
+        return ll_sibling_pushdown(container, context, candidates,
+                                   following=True, stats=stats,
+                                   normalized=normalized)
+    if axis is Axis.PRECEDING_SIBLING:
+        return ll_sibling_pushdown(container, context, candidates,
+                                   following=False, stats=stats,
+                                   normalized=normalized)
     return None

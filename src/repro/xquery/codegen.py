@@ -747,7 +747,7 @@ class _ClosureBuilder:
             sub_env = lift_environment(env, scope_map)
             sub_env["."] = dot
             filtered = rt._apply_predicates(produced, predicates, sub_loop,
-                                            sub_env)
+                                            sub_env, reverse=axis.is_reverse)
             merged = back_map(scope_map, filtered, use_properties=order_opt)
             return rt._nodes_in_document_order(merged, need_pos=need_pos)
         return fn

@@ -1058,7 +1058,7 @@ class LoopLiftingCompiler:
         sub_env = lift_environment(env, scope_map)
         sub_env["."] = dot
         filtered = self._apply_predicates(produced, predicates, sub_loop,
-                                          sub_env)
+                                          sub_env, reverse=axis.is_reverse)
         merged = back_map(scope_map, filtered,
                           use_properties=self.options.order_optimization)
         return self._nodes_in_document_order(merged,
@@ -1136,39 +1136,60 @@ class LoopLiftingCompiler:
             previous = pair
         return from_iter_items(deduped, need_pos=need_pos)
 
-    def _apply_predicates(self, sequence, predicates, loop, env):
+    def _apply_predicates(self, sequence, predicates, loop, env, *,
+                          reverse: bool = False):
         current = sequence
         for predicate in predicates:
-            current = self._apply_one_predicate(current, predicate, loop, env)
+            current = self._apply_one_predicate(current, predicate, loop, env,
+                                                reverse=reverse)
         return current
 
-    def _apply_one_predicate(self, sequence, predicate: PlanNode, loop, env):
+    def _apply_one_predicate(self, sequence, predicate: PlanNode, loop, env, *,
+                             reverse: bool = False):
+        """Filter one predicate over ``sequence``.
+
+        ``reverse=True`` (the predicate belongs to a reverse-axis step)
+        makes ``position()`` count in *proximity* order — reverse document
+        order — per the XPath rule that positions follow the axis
+        direction.  The rows themselves stay in document order (``pos``
+        ascending); the effective position of a row is
+        ``count(iteration) - pos + 1``, so ``[1]`` keeps the nearest node
+        and ``[last()]`` the farthest.
+        """
         if sequence.row_count == 0:
             return sequence
         positions = sequence.col("pos")
         iterations = sequence.col("iter")
+        if reverse:
+            counts: dict[int, int] = {}
+            for iteration in iterations:
+                counts[iteration] = counts.get(iteration, 0) + 1
+            effective = [counts[iteration] - position + 1
+                         for iteration, position in zip(iterations, positions)]
+        else:
+            effective = positions
 
         # fast paths: positional literal and last()
         if predicate.kind == "const" and isinstance(predicate.p("value"), int) \
                 and not isinstance(predicate.p("value"), bool):
             wanted = predicate.p("value")
-            keep = [index for index, position in enumerate(positions)
+            keep = [index for index, position in enumerate(effective)
                     if position == wanted]
             return self._rebuild_filtered(sequence, keep)
         if predicate.kind == "call" and predicate.p("name") == "last" \
                 and not predicate.children:
             last_by_iter: dict[int, int] = {}
-            for iteration, position in zip(iterations, positions):
+            for iteration, position in zip(iterations, effective):
                 last_by_iter[iteration] = max(last_by_iter.get(iteration, 0), position)
             keep = [index for index, (iteration, position)
-                    in enumerate(zip(iterations, positions))
+                    in enumerate(zip(iterations, effective))
                     if position == last_by_iter[iteration]]
             return self._rebuild_filtered(sequence, keep)
 
         # general case: a nested iteration scope with one iteration per item
         scope_map, sub_loop, dot, _ = for_binding(
             sequence, use_properties=self.options.order_optimization)
-        counts: dict[int, int] = {}
+        counts = {}
         for iteration in iterations:
             counts[iteration] = counts.get(iteration, 0) + 1
         sub_env = lift_environment(env, scope_map)
@@ -1176,7 +1197,7 @@ class LoopLiftingCompiler:
         sub_env["fs:position"] = Table([
             Column("iter", list(sub_loop.col("iter")), infer=True),
             Column.constant("pos", 1, sequence.row_count),
-            Column("item", list(positions)),
+            Column("item", list(effective)),
         ], props=TableProps(order=("iter", "pos")))
         sub_env["fs:last"] = Table([
             Column("iter", list(sub_loop.col("iter")), infer=True),
@@ -1194,7 +1215,7 @@ class LoopLiftingCompiler:
             first = outcome[0]
             if isinstance(first, (int, float)) and not isinstance(first, bool) \
                     and len(outcome) == 1:
-                if first == positions[index]:
+                if first == effective[index]:
                     keep.append(index)
             elif effective_boolean_value(outcome):
                 keep.append(index)

@@ -74,35 +74,50 @@ def _wants_loop_lifted(axis: Axis, options: StepOptions) -> bool:
     return options.loop_lifted_other
 
 
-def _split_context(context: Table, axis: Axis, node_test: NodeTest
-                   ) -> dict[int, tuple[DocumentContainer,
-                                        list[tuple[int, int]]]]:
+def _split_context(context: Table) -> dict[int, tuple[DocumentContainer,
+                                                      list[tuple[int, int]],
+                                                      list[tuple[int, int]]]]:
     """Split an ``iter|pos|item`` context per document container.
 
-    Returns ``id(container) -> (container, [(pre, iter), ...])``; non-node
-    items raise a type error (XPTY0019), attribute items only participate
-    in self / parent steps.
+    Returns ``id(container) -> (container, tree_pairs, attr_pairs)`` where
+    ``tree_pairs`` are ``(pre, iter)`` tree-node contexts and ``attr_pairs``
+    are ``(attr_index, iter)`` attribute-node contexts (routed per axis by
+    :func:`_produce_attr_context`); non-node items raise a type error
+    (XPTY0019).
     """
-    per_container: dict[int, tuple[DocumentContainer, list[tuple[int, int]]]] = {}
+    per_container: dict[int, tuple[DocumentContainer, list[tuple[int, int]],
+                                   list[tuple[int, int]]]] = {}
     for iteration, item in zip(context.col("iter"), context.col("item")):
         if not isinstance(item, NodeRef):
             raise XQueryTypeError(
                 f"path step applied to a non-node item {item!r}")
         container = item.container
+        entry = per_container.setdefault(id(container), (container, [], []))
         if item.attr is not None:
-            # attribute nodes only participate in self / parent steps
-            if axis is Axis.PARENT:
-                pairs = per_container.setdefault(
-                    id(container), (container, []))[1]
-                pairs.append((item.pre, iteration))
-            elif axis is Axis.SELF and node_test.kind in ("attribute", "node"):
-                pairs = per_container.setdefault(
-                    id(container), (container, []))[1]
-                pairs.append((item.pre, iteration))
-            continue
-        pairs = per_container.setdefault(id(container), (container, []))[1]
-        pairs.append((item.pre, iteration))
+            entry[2].append((item.attr, iteration))
+        else:
+            entry[1].append((item.pre, iteration))
     return per_container
+
+
+# How each axis treats an *attribute* context node: which axes to run over
+# the owning element, and whether the attribute itself belongs to the
+# result.  XPath defines the vertical and horizontal axes for attribute
+# nodes through the owner: the owner is the attribute's parent, its
+# ancestor-or-self chain are the attribute's ancestors, and in document
+# order the attribute sits after the owner but before the owner's children
+# — so following(attr) is descendant(owner) ∪ following(owner) while
+# preceding(attr) excludes the whole ancestor chain and collapses to
+# preceding(owner).  Sibling axes are empty for attributes, as are
+# child / descendant / attribute.
+_ATTR_OWNER_AXES: dict[Axis, tuple[Axis, ...]] = {
+    Axis.PARENT: (Axis.SELF,),
+    Axis.ANCESTOR: (Axis.ANCESTOR_OR_SELF,),
+    Axis.ANCESTOR_OR_SELF: (Axis.ANCESTOR_OR_SELF,),
+    Axis.FOLLOWING: (Axis.DESCENDANT, Axis.FOLLOWING),
+    Axis.PRECEDING: (Axis.PRECEDING,),
+}
+_ATTR_SELF_AXES = (Axis.SELF, Axis.ANCESTOR_OR_SELF)
 
 
 def _produce_step(container: DocumentContainer, pairs: list[tuple[int, int]],
@@ -143,6 +158,68 @@ def _produce_step(container: DocumentContainer, pairs: list[tuple[int, int]],
     explain.record("step", "step.iterative", len(pairs),
                    len(iters), detail=axis.value)
     return iters, pres, False
+
+
+def _produce_attr_context(container: DocumentContainer,
+                          attr_pairs: list[tuple[int, int]], axis: Axis,
+                          node_test: NodeTest, options: StepOptions,
+                          stats: StaircaseStats | None
+                          ) -> list[tuple[array, array, bool]]:
+    """Evaluate one step over attribute-node contexts of one container.
+
+    ``attr_pairs`` must be sorted ``(attr_index, iter)`` and duplicate
+    free.  Per :data:`_ATTR_OWNER_AXES` the step is routed through the
+    owning elements (and the attribute itself joins the result for the
+    self-including axes when the node test accepts attribute nodes) —
+    axes undefined for attributes yield nothing.
+    """
+    batches: list[tuple[array, array, bool]] = []
+    if not attr_pairs:
+        return batches
+    if axis in _ATTR_SELF_AXES and node_test.kind in ("attribute", "node"):
+        iters = array("q", (iteration for _, iteration in attr_pairs))
+        ranks = array("q", (attr_index for attr_index, _ in attr_pairs))
+        explain.record("step", "step.attr-context", len(attr_pairs),
+                       len(iters), detail=axis.value)
+        batches.append((iters, ranks, True))
+    owner_axes = _ATTR_OWNER_AXES.get(axis, ())
+    if owner_axes:
+        owner_column = container.attr_owner
+        owners = sorted({(owner_column[attr_index], iteration)
+                         for attr_index, iteration in attr_pairs})
+        for owner_axis in owner_axes:
+            batches.append(_produce_step(container, owners, owner_axis,
+                                         node_test, options, stats))
+    return batches
+
+
+def _produce_all(container: DocumentContainer,
+                 tree_pairs: list[tuple[int, int]],
+                 attr_pairs: list[tuple[int, int]], axis: Axis,
+                 node_test: NodeTest, options: StepOptions,
+                 stats: StaircaseStats | None
+                 ) -> tuple[list[tuple[array, array, bool]], int]:
+    """One step over the mixed tree/attribute contexts of one container.
+
+    Normalizes both context kinds, dispatches tree contexts to the
+    staircase joins and attribute contexts to the routing table, and
+    returns the result batches plus the normalized context count.  Batches
+    may overlap pairwise (e.g. ancestors reached from both a tree and an
+    attribute context) — the assembly and the chain threading dedup.
+    """
+    batches: list[tuple[array, array, bool]] = []
+    contexts_in = 0
+    if tree_pairs:
+        pairs = sorted(set(tree_pairs))
+        contexts_in += len(pairs)
+        batches.append(_produce_step(container, pairs, axis, node_test,
+                                     options, stats))
+    if attr_pairs:
+        pairs = sorted(set(attr_pairs))
+        contexts_in += len(pairs)
+        batches.extend(_produce_attr_context(container, pairs, axis,
+                                             node_test, options, stats))
+    return batches, contexts_in
 
 
 def _assemble_result(produced: list[tuple[DocumentContainer, array, array, bool]],
@@ -234,15 +311,14 @@ def axis_step(context: Table, axis: Axis, node_test: NodeTest, *,
     if options is None:
         options = StepOptions()
 
-    per_container = _split_context(context, axis, node_test)
+    per_container = _split_context(context)
     produced: list[tuple[DocumentContainer, array, array, bool]] = []
     contexts_in = 0
-    for container, pairs in per_container.values():
-        pairs = sorted(set(pairs))
-        contexts_in += len(pairs)
-        iters, ranks, is_attr = _produce_step(container, pairs, axis,
-                                              node_test, options, stats)
-        produced.append((container, iters, ranks, is_attr))
+    for container, tree_pairs, attr_pairs in per_container.values():
+        batches, count = _produce_all(container, tree_pairs, attr_pairs,
+                                      axis, node_test, options, stats)
+        contexts_in += count
+        produced.extend((container,) + batch for batch in batches)
 
     return _assemble_result(produced, contexts_in, need_item, axis.value)
 
@@ -287,60 +363,86 @@ def _collapse_descendant_steps(steps: Sequence[tuple]) -> list[tuple]:
 
 
 def _positional_step(container: DocumentContainer,
-                     pairs: list[tuple[int, int]], axis: Axis,
+                     tree_pairs: list[tuple[int, int]],
+                     attr_pairs: list[tuple[int, int]], axis: Axis,
                      node_test: NodeTest, spec: tuple,
                      options: StepOptions, stats: StaircaseStats | None
-                     ) -> tuple[array, array, bool]:
+                     ) -> list[tuple[array, array, bool]]:
     """One chain step with a positional predicate (``[k]`` / ``[last()]``).
 
     Positional predicates count per *context node*, but the raw ``(iter,
     pre)`` buffers only carry iterations — several context nodes of one
     iteration share an iter value.  So the context is renumbered to one
     fresh dense iteration per context node (the ordinal doubles as an index
-    back into ``pairs``), the staircase join runs as usual, and the
-    counting loop walks its output in per-context document order keeping
-    the ``k``-th (or last) row of each context before mapping ordinals back
-    to the original iterations.  Still surrogate-free: the count runs on
-    the raw int buffers, nothing is boxed.
+    back into the original iterations), the staircase join runs as usual,
+    and the counting loop walks its output in per-context *axis* order —
+    document order for forward axes, reverse document (proximity) order
+    for reverse axes, per the XPath rule that ``position()`` counts along
+    the axis direction — keeping the ``k``-th (or last) row of each
+    context.  Still surrogate-free: the count runs on the raw int buffers,
+    nothing is boxed.
     """
-    contexts = [(pre, ordinal)
-                for ordinal, (pre, _) in enumerate(pairs, start=1)]
-    iters, ranks, is_attr = _produce_step(container, contexts, axis,
-                                          node_test, options, stats)
-    # per-context document order: one context node emits each result node
-    # once, rank-ascending = document order
-    order = sorted(range(len(iters)), key=lambda i: (iters[i], ranks[i]))
-    keep: list[int] = []
-    if spec[0] == "index":
-        wanted = spec[1]
-        count = 0
-        last_ctx = None
-        for i in order:
-            ctx = iters[i]
-            if ctx != last_ctx:
-                count = 0
-                last_ctx = ctx
-            count += 1
-            if count == wanted:
-                keep.append(i)
-    else:  # ("last",)
-        last_ctx = None
-        previous = -1
-        for i in order:
-            ctx = iters[i]
-            if ctx != last_ctx and last_ctx is not None:
-                keep.append(previous)
-            last_ctx = ctx
-            previous = i
-        if last_ctx is not None:
-            keep.append(previous)
-    out_iters = array("q", (pairs[iters[i] - 1][1] for i in keep))
-    out_ranks = array("q", (ranks[i] for i in keep))
-    detail = f"{axis.value}[{wanted}]" if spec[0] == "index" \
+    tree_pairs = sorted(set(tree_pairs))
+    attr_pairs = sorted(set(attr_pairs))
+    original_iters: list[int] = []
+    tree_contexts: list[tuple[int, int]] = []
+    attr_contexts: list[tuple[int, int]] = []
+    for pre, iteration in tree_pairs:
+        original_iters.append(iteration)
+        tree_contexts.append((pre, len(original_iters)))
+    for attr_index, iteration in attr_pairs:
+        original_iters.append(iteration)
+        attr_contexts.append((attr_index, len(original_iters)))
+    batches, _ = _produce_all(container, tree_contexts, attr_contexts,
+                              axis, node_test, options, stats)
+    # flatten with document-order keys mirroring NodeRef.order_key so
+    # mixed attribute/tree batches interleave correctly
+    rows: list[tuple[int, tuple[int, int, int], int, int]] = []
+    for batch_index, (iters, ranks, is_attr) in enumerate(batches):
+        owners = container.attr_owner if is_attr else None
+        for row_index, (ordinal, rank) in enumerate(zip(iters, ranks)):
+            key = (owners[rank], 1, rank) if is_attr else (rank, 0, 0)
+            rows.append((ordinal, key, batch_index, row_index))
+    rows.sort()
+    keep_per_batch: dict[int, list[tuple[int, int]]] = {}
+    index = 0
+    total = len(rows)
+    while index < total:
+        stop = index
+        ordinal = rows[index][0]
+        while stop < total and rows[stop][0] == ordinal:
+            stop += 1
+        group = rows[index:stop]
+        if axis.is_reverse:
+            group.reverse()             # proximity order for reverse axes
+        chosen = None
+        if spec[0] == "index":
+            if spec[1] <= len(group):
+                chosen = group[spec[1] - 1]
+        else:  # ("last",)
+            chosen = group[-1]
+        if chosen is not None:
+            _, _, batch_index, row_index = chosen
+            keep_per_batch.setdefault(batch_index, []).append(
+                (ordinal, row_index))
+        index = stop
+    out_batches: list[tuple[array, array, bool]] = []
+    kept = 0
+    for batch_index, (iters, ranks, is_attr) in enumerate(batches):
+        selected = keep_per_batch.get(batch_index)
+        if not selected:
+            continue
+        kept += len(selected)
+        out_iters = array("q", (original_iters[ordinal - 1]
+                                for ordinal, _ in selected))
+        out_ranks = array("q", (ranks[row_index]
+                                for _, row_index in selected))
+        out_batches.append((out_iters, out_ranks, is_attr))
+    detail = f"{axis.value}[{spec[1]}]" if spec[0] == "index" \
         else f"{axis.value}[last()]"
-    explain.record("step", "step.chain-positional", len(pairs),
-                   len(keep), detail=detail)
-    return out_iters, out_ranks, is_attr
+    explain.record("step", "step.chain-positional",
+                   len(original_iters), kept, detail=detail)
+    return out_batches
 
 
 def axis_step_chain(context: Table,
@@ -379,28 +481,40 @@ def axis_step_chain(context: Table,
         raise ValueError("the attribute axis can only end a fused chain")
     normalized = _collapse_descendant_steps(normalized)
 
-    first_axis, first_test, _ = normalized[0]
-    per_container = _split_context(context, first_axis, first_test)
+    per_container = _split_context(context)
     produced: list[tuple[DocumentContainer, array, array, bool]] = []
     contexts_in = 0
-    for container, pairs in per_container.values():
-        pairs = sorted(set(pairs))
-        contexts_in += len(pairs)
-        iters = array("q")
-        ranks = array("q")
-        is_attr = False
+    for container, tree_pairs, attr_pairs in per_container.values():
+        batches: list[tuple[array, array, bool]] = []
         for index, (axis, node_test, spec) in enumerate(normalized):
             if index:
-                # thread the previous join's output into the next context:
-                # sort/dedup (iter, pre) -> [pre, iter] on the raw buffers
-                pairs = sort_dedup_pairs(ranks, iters)
+                # thread the previous step's batches into the next context:
+                # sort/dedup (iter, rank) -> [rank, iter] on the raw
+                # buffers, keeping attribute rows (a mid-chain self step
+                # can preserve them) separate from tree rows
+                tree_iters = array("q")
+                tree_ranks = array("q")
+                attr_rows: set[tuple[int, int]] = set()
+                for iters, ranks, is_attr in batches:
+                    if is_attr:
+                        attr_rows.update(zip(ranks, iters))
+                    else:
+                        tree_iters.extend(iters)
+                        tree_ranks.extend(ranks)
+                tree_pairs = sort_dedup_pairs(tree_ranks, tree_iters)
+                attr_pairs = sorted(attr_rows)
             if spec is None:
-                iters, ranks, is_attr = _produce_step(
-                    container, pairs, axis, node_test, options, stats)
+                batches, count = _produce_all(container, tree_pairs,
+                                              attr_pairs, axis, node_test,
+                                              options, stats)
             else:
-                iters, ranks, is_attr = _positional_step(
-                    container, pairs, axis, node_test, spec, options, stats)
-        produced.append((container, iters, ranks, is_attr))
+                batches = _positional_step(container, tree_pairs, attr_pairs,
+                                           axis, node_test, spec, options,
+                                           stats)
+                count = len(set(tree_pairs)) + len(set(attr_pairs))
+            if index == 0:
+                contexts_in += count
+        produced.extend((container,) + batch for batch in batches)
 
     detail = ">".join(axis.value for axis, _, _ in normalized)
     total_out = sum(len(entry[1]) for entry in produced)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import re
 
 import pytest
 
@@ -221,19 +222,25 @@ def generated_queries() -> list[str]:
 # the path-chain fuzzer (step-chain fusion differential coverage)
 # --------------------------------------------------------------------------- #
 CHAIN_SEED = 52601
-CHAIN_COUNT = 22
+CHAIN_COUNT = 30
 CHAIN_COMBINATION_COUNT = 4
 
 
 class PathChainFuzzer:
     """Seeded random 2–5-step path chains over the fixture vocabulary.
 
-    Chains mix child (``/``) and descendant (``//``) separators, element
-    name tests (including ``*`` and ``text()``), an optional final
-    attribute step, and optional positional / name predicates.  Predicates
-    deliberately appear on *interior* steps too: a predicate breaks the
-    fusable chain there, so the generated corpus exercises fused chains,
-    unfused chains and mixed fused/unfused segments of one path.
+    Chains mix child (``/``) and descendant (``//``) separators, *named*
+    axis steps over the full axis vocabulary (ancestor, following,
+    preceding, the sibling axes, self, parent...), element name tests
+    (including ``*`` and ``text()``), attribute steps — both terminal and
+    *continued* (``@id/ancestor::*``: the attribute node becomes the
+    context of a further step), and optional positional / name predicates.
+    Positional predicates land on reverse-axis steps too, where
+    ``position()`` counts in proximity rather than document order.
+    Predicates deliberately appear on *interior* steps as well: a general
+    predicate breaks the fusable chain there, so the generated corpus
+    exercises fused chains, unfused chains and mixed fused/unfused
+    segments of one path.
     """
 
     TAGS = ["site", "people", "person", "name", "profile", "interest",
@@ -243,6 +250,15 @@ class PathChainFuzzer:
             "description"]
     ATTRIBUTES = ["id", "income", "category", "person", "item"]
     PREDICATES = ["[1]", "[2]", "[last()]", "[name]", "[@id]"]
+    POSITIONAL = ["[1]", "[2]", "[last()]"]
+    AXES = ["self", "child", "parent", "ancestor", "ancestor-or-self",
+            "descendant", "descendant-or-self", "following", "preceding",
+            "following-sibling", "preceding-sibling"]
+    REVERSE_AXES = {"parent", "ancestor", "ancestor-or-self", "preceding",
+                    "preceding-sibling"}
+    # the axes XPath defines for attribute context nodes (via the owner)
+    ATTRIBUTE_AXES = ["self", "parent", "ancestor", "ancestor-or-self",
+                      "following", "preceding"]
 
     def __init__(self, seed: int):
         self.rng = random.Random(seed)
@@ -255,19 +271,39 @@ class PathChainFuzzer:
             return "*"
         return "text()"
 
+    def _axis_step(self, axis: str) -> str:
+        test = "node()" if self.rng.random() < 0.18 else self._name_test()
+        step = f"/{axis}::{test}"
+        if test != "text()" and self.rng.random() < 0.3:
+            predicates = self.POSITIONAL if axis in self.REVERSE_AXES \
+                else self.PREDICATES
+            step += self.rng.choice(predicates)
+        return step
+
     def chain(self) -> str:
         depth = self.rng.randint(2, 5)
         parts: list[str] = []
-        for position in range(depth):
-            separator = "/" if self.rng.random() < 0.55 else "//"
+        position = 0
+        while position < depth:
             is_last = position == depth - 1
-            if is_last and self.rng.random() < 0.25:
-                parts.append(f"{separator}@{self.rng.choice(self.ATTRIBUTES)}")
+            if position > 0 and is_last and self.rng.random() < 0.25:
+                parts.append(f"/@{self.rng.choice(self.ATTRIBUTES)}")
+                if self.rng.random() < 0.5:
+                    # attribute-context continuation: the attribute node
+                    # itself is the context of the next step
+                    parts.append(self._axis_step(
+                        self.rng.choice(self.ATTRIBUTE_AXES)))
+                position += 1
                 continue
-            step = self._name_test()
-            if step != "text()" and self.rng.random() < 0.25:
-                step += self.rng.choice(self.PREDICATES)
-            parts.append(separator + step)
+            if position == 0 or self.rng.random() < 0.62:
+                separator = "/" if self.rng.random() < 0.55 else "//"
+                step = self._name_test()
+                if step != "text()" and self.rng.random() < 0.25:
+                    step += self.rng.choice(self.PREDICATES)
+                parts.append(separator + step)
+            else:
+                parts.append(self._axis_step(self.rng.choice(self.AXES)))
+            position += 1
         query = "".join(parts)
         if self.rng.random() < 0.35:
             return f"count({query})"
@@ -536,6 +572,16 @@ def test_chain_fuzzer_covers_the_chain_shapes():
     assert "[last()]" in queries or "[1]" in queries or "[2]" in queries
     assert "count(" in queries
     assert "*" in queries
+    # named-axis vocabulary: forward, reverse and sibling window axes
+    assert "ancestor" in queries
+    assert "following" in queries or "preceding" in queries
+    assert "sibling::" in queries
+    # a reverse-axis step carrying a proximity-order positional predicate
+    assert re.search(
+        r"(ancestor-or-self|ancestor|preceding-sibling|preceding|parent)"
+        r"::[\w*()-]+\[(1|2|last\(\))\]", queries)
+    # an attribute-context continuation: a step *after* an attribute
+    assert re.search(r"@\w+/", queries)
 
 
 def test_step_fusion_switch_is_ablated():
